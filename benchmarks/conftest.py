@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures: memoised paper-scale workloads."""
+
+import pytest
+
+from repro.hw import model_workload
+from repro.models import get_config
+
+_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def workload_cache():
+    """Callable returning memoised ModelWorkloads: (model, sparsity) -> WL."""
+
+    def get(model, sparsity, **kwargs):
+        key = (model, sparsity, tuple(sorted(kwargs.items())))
+        if key not in _CACHE:
+            _CACHE[key] = model_workload(get_config(model), sparsity=sparsity,
+                                         **kwargs)
+        return _CACHE[key]
+
+    return get
+
+
+def print_paper_vs_measured(title, rows):
+    """rows: list of (label, paper_value, measured_value) strings/floats."""
+    print(f"\n=== {title} ===")
+    width = max(len(str(r[0])) for r in rows) + 2
+    print(f"{'metric'.ljust(width)}{'paper':>12}{'measured':>12}")
+    for label, paper, measured in rows:
+        paper_s = f"{paper:.2f}" if isinstance(paper, float) else str(paper)
+        meas_s = (f"{measured:.2f}" if isinstance(measured, float)
+                  else str(measured))
+        print(f"{str(label).ljust(width)}{paper_s:>12}{meas_s:>12}")

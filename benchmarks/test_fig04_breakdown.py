@@ -1,0 +1,41 @@
+"""Fig. 4 — FLOPs and EdgeGPU latency breakdowns for seven ViT models.
+
+Paper: the self-attention module accounts for >50 % of end-to-end latency
+on an EdgeGPU (up to 69 % for LeViT-128) although MLPs dominate FLOPs; the
+Q/K/V matmuls and reshapes take up to 53 % of the SA module's latency.
+"""
+
+from repro.harness import ALL_MODELS, fig4_breakdown
+
+from conftest import print_paper_vs_measured
+
+
+def test_fig4_breakdowns(benchmark):
+    rows_data = benchmark.pedantic(
+        lambda: fig4_breakdown(models=ALL_MODELS), rounds=1, iterations=1
+    )
+    levit128 = next(r for r in rows_data if r["model"] == "levit-128")
+    deit_base = next(r for r in rows_data if r["model"] == "deit-base")
+
+    rows = [
+        ("LeViT-128 SA latency frac", 0.69, levit128["sa_latency_fraction"]),
+        ("DeiT-Base SA latency frac", ">0.5",
+         deit_base["sa_latency_fraction"]),
+        ("core matmul frac of SA", 0.53, deit_base["core_fraction_of_sa"]),
+        ("DeiT-Base MLP FLOPs frac", ">attn",
+         deit_base["flops_fraction"]["mlp"]),
+    ]
+    print_paper_vs_measured("Fig. 4 breakdowns (EdgeGPU model)", rows)
+
+    for row in rows_data:
+        # SA >= ~half the latency on every model.
+        assert row["sa_latency_fraction"] > 0.45, row["model"]
+        # ...although MLP leads in FLOPs for the classification ViTs.
+        if row["model"].startswith(("deit", "levit")):
+            assert (row["flops_fraction"]["mlp"]
+                    > row["flops_fraction"]["attention_core"])
+    # LeViT-128 is the extreme case, as in the paper.
+    assert levit128["sa_latency_fraction"] == max(
+        r["sa_latency_fraction"] for r in rows_data if "levit" in r["model"]
+    )
+    assert levit128["sa_latency_fraction"] > 0.6

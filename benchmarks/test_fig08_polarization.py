@@ -1,0 +1,33 @@
+"""Fig. 8 — attention-map polarization across 12 layers × 12 heads.
+
+Paper: after pruning + reordering, every DeiT-Base head's mask shows a
+clustered dense block on the left and a very sparse remainder (diagonal or
+uniformly scattered), at 197x197 resolution.
+"""
+
+from repro.harness import fig8_polarization
+
+from conftest import print_paper_vs_measured
+
+
+def test_fig8_polarization(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig8_polarization(num_tokens=197, num_heads=12,
+                                  num_layers=12, sparsity=0.9),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        ("mean polarization", "high (~1)", data["mean_polarization"]),
+        ("layers analysed", 12, len(data["layers"])),
+    ]
+    print_paper_vs_measured("Fig. 8 polarization (DeiT-Base scale)", rows)
+
+    assert len(data["layers"]) == 12
+    assert data["mean_polarization"] > 0.8
+    for layer in data["layers"]:
+        # Pruning fixes the sparsity; reordering does not change nnz.
+        assert abs(layer["prune_and_reorder"]["sparsity"] - 0.9) < 0.02
+        assert (layer["prune_and_reorder"]["sparsity"]
+                == layer["prune_only"]["sparsity"])
+        # Every layer found at least one global token per head on average.
+        assert sum(layer["num_global_tokens"]) >= 12

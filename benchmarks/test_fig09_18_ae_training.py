@@ -1,0 +1,55 @@
+"""Fig. 9b / Fig. 18 — training trajectories of ViTs with AE modules.
+
+Paper: with the auto-encoder inserted and trained jointly (Eq. 2), both the
+test loss and the reconstruction loss fall, and accuracy recovers to within
+0.5 % of the vanilla model (dashed lines) for DeiT and LeViT alike.
+"""
+
+import numpy as np
+
+from repro.autoencoder import finetune_with_autoencoder
+from repro.models import pretrained
+
+from conftest import print_paper_vs_measured
+
+FAST = dict(num_samples=192, num_classes=3)
+
+
+def run_trajectory(model_name):
+    pre = pretrained(model_name, epochs=3, dataset_kwargs=FAST)
+    return pre, finetune_with_autoencoder(
+        pre.model, pre.dataset, baseline_accuracy=pre.test_accuracy,
+        compression=0.5, epochs=4, seed=0,
+    )
+
+
+def test_fig9b_deit_trajectory(benchmark):
+    pre, result = benchmark.pedantic(
+        lambda: run_trajectory("deit-tiny"), rounds=1, iterations=1
+    )
+    rows = [
+        ("recon loss falls", "yes",
+         "yes" if result.recon_losses[-1] < result.recon_losses[0] else "no"),
+        ("final acc drop (<0.5%)", 0.005, result.accuracy_drop),
+    ]
+    print_paper_vs_measured("Fig. 9b DeiT + AE trajectory", rows)
+
+    assert result.recon_losses[-1] < result.recon_losses[0]
+    assert result.final_accuracy >= pre.test_accuracy - 0.05
+    # Test loss stays near its (already tiny) converged level.
+    assert result.test_losses[-1] <= result.test_losses[0] + 0.15
+
+
+def test_fig18_levit_trajectory(benchmark):
+    pre, result = benchmark.pedantic(
+        lambda: run_trajectory("levit-128"), rounds=1, iterations=1
+    )
+    rows = [
+        ("recon loss falls", "yes",
+         "yes" if result.recon_losses[-1] < result.recon_losses[0] else "no"),
+        ("final acc drop (<0.5%)", 0.005, result.accuracy_drop),
+    ]
+    print_paper_vs_measured("Fig. 18 LeViT + AE trajectory", rows)
+
+    assert result.recon_losses[-1] < result.recon_losses[0]
+    assert result.final_accuracy >= pre.test_accuracy - 0.08

@@ -1,0 +1,59 @@
+"""Fig. 15 — core-attention and end-to-end speedups over five baselines.
+
+Paper (90 % sparsity, averaged over the DeiT/LeViT models):
+  core attention: 235.3x CPU, 142.9x EdgeGPU, 86.0x GPU,
+                  10.1x SpAtten, 6.8x Sanger
+  end-to-end:     33.8x CPU, 5.6x EdgeGPU, 3.1x SpAtten, 2.1x Sanger
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import DEFAULT_MODELS, fig15_speedups
+
+from conftest import print_paper_vs_measured
+
+PAPER_CORE = {"cpu": 235.3, "edgegpu": 142.9, "gpu": 86.0,
+              "spatten": 10.1, "sanger": 6.8}
+PAPER_E2E = {"cpu": 33.8, "edgegpu": 5.6, "spatten": 3.1, "sanger": 2.1}
+
+
+def test_fig15a_core_attention_speedups(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig15_speedups(sparsity=0.9, models=DEFAULT_MODELS),
+        rounds=1, iterations=1,
+    )
+    rows = [(name, PAPER_CORE[name], data["mean"][name])
+            for name in PAPER_CORE]
+    print_paper_vs_measured("Fig. 15a core-attention speedups @90%", rows)
+
+    mean = data["mean"]
+    # Shape assertions: ordering and rough magnitudes.
+    assert mean["cpu"] > mean["edgegpu"] > mean["gpu"] > mean["spatten"]
+    assert mean["spatten"] > mean["sanger"] > 1.0
+    for name, paper in PAPER_CORE.items():
+        assert 0.4 * paper < mean[name] < 2.5 * paper, name
+
+
+def test_fig15b_end_to_end_speedups(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig15_speedups(sparsity=0.9, models=("deit-tiny", "deit-base",
+                                                     "levit-128"),
+                               end_to_end=True),
+        rounds=1, iterations=1,
+    )
+    mean = data["mean"]
+    rows = [(name, PAPER_E2E[name], mean[name]) for name in PAPER_E2E]
+    print_paper_vs_measured("Fig. 15b end-to-end speedups @90%", rows)
+
+    # End-to-end gains are much smaller than core-attention gains (Amdahl);
+    # ViTCoD still wins against every platform.  Our accelerator-vs-
+    # accelerator e2e margins (~1.1x) fall short of the paper's 2-3x because
+    # the shared 512-MAC dense path dominates e2e in our model — see
+    # EXPERIMENTS.md.
+    core = fig15_speedups(sparsity=0.9, models=("deit-base",))
+    assert mean["cpu"] < core["mean"]["cpu"]
+    assert mean["cpu"] > 10.0
+    assert mean["edgegpu"] > 2.5
+    assert mean["sanger"] > 1.0
+    assert mean["spatten"] > 1.0

@@ -1,0 +1,40 @@
+"""Fig. 17 — accuracy vs attention latency, ViTCoD vs unpruned baselines.
+
+Paper: the full ViTCoD algorithm (split-and-conquer at 90 % for DeiT / 80 %
+for LeViT, plus the 50 %-compression AE) cuts attention-layer latency by
+45.1-85.8 % (DeiT) and 72.0-84.3 % (LeViT) with <1 % accuracy drop.
+"""
+
+from repro.harness import DEFAULT_MODELS, fig17_accuracy_latency
+
+from conftest import print_paper_vs_measured
+
+
+def test_fig17_accuracy_latency(benchmark):
+    rows_data = benchmark.pedantic(
+        lambda: fig17_accuracy_latency(models=DEFAULT_MODELS),
+        rounds=1, iterations=1,
+    )
+    deit = [r for r in rows_data if r["model"].startswith("deit")]
+    levit = [r for r in rows_data if r["model"].startswith("levit")]
+
+    rows = [
+        ("DeiT latency reduction", "45.1-85.8%",
+         f"{min(r['latency_reduction'] for r in deit):.0%}-"
+         f"{max(r['latency_reduction'] for r in deit):.0%}"),
+        ("LeViT latency reduction", "72.0-84.3%",
+         f"{min(r['latency_reduction'] for r in levit):.0%}-"
+         f"{max(r['latency_reduction'] for r in levit):.0%}"),
+        ("max accuracy drop", "<1.0",
+         max(r["dense_accuracy"] - r["vitcod_accuracy"]
+             for r in rows_data)),
+    ]
+    print_paper_vs_measured("Fig. 17 accuracy vs latency", rows)
+
+    for row in rows_data:
+        assert 0.4 < row["latency_reduction"] < 0.95, row["model"]
+        assert row["dense_accuracy"] - row["vitcod_accuracy"] < 1.0
+        assert row["vitcod_latency_ms"] < row["dense_latency_ms"]
+    # LeViT runs at the reduced 80% sparsity point (its knee, §VI-C).
+    assert all(r["sparsity"] == 0.8 for r in levit)
+    assert all(r["sparsity"] == 0.9 for r in deit)

@@ -1,0 +1,79 @@
+"""Fig. 15/19-style comparison across all seven ViT models.
+
+For each model, simulates the core-attention workload at 90 % sparsity on
+ViTCoD and all five baselines, then prints speedups, the ViTCoD latency
+breakdown, the ablation (no AE / single engine / S-stationary), and energy.
+
+Run:  python examples/accelerator_comparison.py
+"""
+
+from repro.baselines import (
+    SangerSimulator,
+    SpAttenSimulator,
+    cpu_platform,
+    edgegpu_platform,
+    gpu_platform,
+)
+from repro.harness import ALL_MODELS, format_table
+from repro.hw import ViTCoDAccelerator, model_workload
+from repro.models import get_config
+
+
+def main():
+    sparsity = 0.9
+    baselines = [
+        ("cpu", cpu_platform()),
+        ("edgegpu", edgegpu_platform()),
+        ("gpu", gpu_platform()),
+        ("spatten", SpAttenSimulator()),
+        ("sanger", SangerSimulator()),
+    ]
+    vitcod = ViTCoDAccelerator()
+
+    rows = []
+    for name in ALL_MODELS:
+        wl = model_workload(get_config(name), sparsity=sparsity)
+        ours = vitcod.simulate_attention(wl)
+        speedups = [
+            ours.speedup_over(sim.simulate_attention(wl))
+            for _, sim in baselines
+        ]
+        rows.append([name] + [f"{s:.1f}x" for s in speedups])
+    print(f"Core-attention speedups at {sparsity:.0%} sparsity "
+          "(paper Fig. 15a):")
+    print(format_table(["model"] + [b for b, _ in baselines], rows))
+
+    print("\nViTCoD ablation on DeiT-Base (attention only):")
+    wl = model_workload(get_config("deit-base"), sparsity=sparsity)
+    variants = [
+        ("full (S&C + AE, two-pronged)", ViTCoDAccelerator()),
+        ("no auto-encoder", ViTCoDAccelerator(use_ae=False)),
+        ("single engine", ViTCoDAccelerator(use_ae=False, two_pronged=False)),
+        ("S-stationary dataflow", ViTCoDAccelerator(dataflow="s_stationary")),
+    ]
+    base = variants[0][1].simulate_attention(wl)
+    rows = []
+    for label, acc in variants:
+        r = acc.simulate_attention(wl)
+        f = r.latency.fractions()
+        rows.append([
+            label, r.seconds * 1e3, f"{base.seconds / r.seconds:.2f}x",
+            f"{f['compute']:.0%}", f"{f['preprocess']:.0%}",
+            f"{f['data_movement']:.0%}",
+        ])
+    print(format_table(
+        ["variant", "ms", "rel. speed", "compute", "preproc", "data mv"],
+        rows, float_fmt="{:.3f}"))
+
+    print("\nEnergy (DeiT-Base attention, lower is better):")
+    rows = []
+    for label, sim in [("ViTCoD", vitcod), ("Sanger", SangerSimulator()),
+                       ("SpAtten", SpAttenSimulator())]:
+        r = sim.simulate_attention(wl)
+        rows.append([label, r.energy_joules * 1e6,
+                     f"{r.energy_pj / base.energy_pj:.2f}x"])
+    print(format_table(["design", "energy (uJ)", "vs ViTCoD"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Design-space exploration around the paper's accelerator design point.
+
+Sweeps MAC count, DRAM bandwidth, buffer size, and AE compression on the
+DeiT-Base 90 %-sparsity workload, prints sensitivity tables, and extracts
+the latency/energy Pareto frontier — quantifying why the paper's 512-MAC /
+76.8 GB/s / 0.5-compression point is a balanced choice.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.harness import format_table, pareto_frontier, sensitivity, sweep_design_space
+from repro.hw import model_workload
+from repro.models import get_config
+
+
+def main():
+    workload = model_workload(get_config("deit-base"), sparsity=0.9)
+
+    print("=== sensitivity: MAC lines (paper: 64 lines = 512 MACs) ===")
+    rows = sensitivity(workload, "mac_lines", [16, 32, 64, 128, 256])
+    print(format_table(
+        ["mac lines", "latency ms", "energy uJ", "EDP (nJ*s)"],
+        [[r["mac_lines"], r["seconds"] * 1e3, r["energy_joules"] * 1e6,
+          r["edp"] * 1e12] for r in rows],
+    ))
+
+    print("\n=== sensitivity: DRAM bandwidth (paper: 76.8 GB/s) ===")
+    rows = sensitivity(workload, "bandwidth_gbps", [19.2, 38.4, 76.8, 153.6])
+    print(format_table(
+        ["GB/s", "latency ms", "energy uJ"],
+        [[r["bandwidth_gbps"], r["seconds"] * 1e3,
+          r["energy_joules"] * 1e6] for r in rows],
+    ))
+
+    print("\n=== sensitivity: AE compression (paper: 0.5) ===")
+    rows = sensitivity(workload, "ae_compression", [None, 0.75, 0.5, 0.25])
+    print(format_table(
+        ["compression", "latency ms", "energy uJ"],
+        [[str(r["ae_compression"]), r["seconds"] * 1e3,
+          r["energy_joules"] * 1e6] for r in rows],
+    ))
+
+    print("\n=== 2-D sweep + Pareto frontier (latency vs energy) ===")
+    points = sweep_design_space(
+        workload,
+        {"mac_lines": [32, 64, 128], "ae_compression": [None, 0.5],
+         "bandwidth_gbps": [38.4, 76.8]},
+    )
+    frontier = pareto_frontier(points)
+    print(f"{len(points)} design points, {len(frontier)} on the frontier:")
+    print(format_table(
+        ["parameters", "latency ms", "energy uJ"],
+        [[", ".join(f"{k}={v}" for k, v in p.parameters),
+          p.seconds * 1e3, p.energy_joules * 1e6]
+         for p in sorted(frontier, key=lambda p: p.seconds)],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""ViTCoD's learnable auto-encoder module and unified algorithm pipeline."""
+
+from .module import HeadAutoEncoder, default_ae_factory
+from .training import (
+    AETrainingResult,
+    attach_autoencoders,
+    reconstruction_term,
+    finetune_with_autoencoder,
+)
+from .pipeline import ViTCoDPipelineResult, run_vitcod_pipeline
+
+__all__ = [
+    "HeadAutoEncoder",
+    "default_ae_factory",
+    "AETrainingResult",
+    "attach_autoencoders",
+    "reconstruction_term",
+    "finetune_with_autoencoder",
+    "ViTCoDPipelineResult",
+    "run_vitcod_pipeline",
+]

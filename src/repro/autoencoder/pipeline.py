@@ -1,0 +1,124 @@
+"""The unified ViTCoD algorithm pipeline (Fig. 10).
+
+Input: a pretrained ViT.
+Step 1: insert AE modules into every attention head group and finetune.
+Step 2: extract averaged attention maps, run split-and-conquer, install the
+fixed masks, and finetune again to restore accuracy.
+
+Output: a :class:`ViTCoDPipelineResult` carrying the finetuned model, the
+per-layer :class:`~repro.sparsity.SplitConquerResult`s (the accelerator's
+workload description), and accuracy bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..models.extraction import extract_average_attention
+from ..models.zoo import TrainResult, train_classifier, evaluate_classifier
+from ..sparsity.split_conquer import SplitConquerResult, split_and_conquer
+from .module import HeadAutoEncoder
+from .training import attach_autoencoders, reconstruction_term
+
+__all__ = ["ViTCoDPipelineResult", "run_vitcod_pipeline"]
+
+
+@dataclass
+class ViTCoDPipelineResult:
+    """Everything downstream consumers need after the unified pipeline."""
+
+    model: object
+    layer_results: List[SplitConquerResult]
+    baseline_accuracy: float
+    ae_accuracy: float
+    final_accuracy: float
+    compression: float
+    target_sparsity: float
+    ae_history: List[dict] = field(default_factory=list)
+    mask_history: List[dict] = field(default_factory=list)
+
+    @property
+    def accuracy_drop(self):
+        return self.baseline_accuracy - self.final_accuracy
+
+    @property
+    def achieved_sparsity(self):
+        return float(np.mean([r.sparsity for r in self.layer_results]))
+
+    @property
+    def num_global_tokens(self):
+        """Per-layer arrays of per-head global-token counts."""
+        return [r.num_global_tokens for r in self.layer_results]
+
+
+def run_vitcod_pipeline(
+    pretrained_result: TrainResult,
+    target_sparsity=0.9,
+    theta_d=0.25,
+    compression: Optional[float] = 0.5,
+    ae_epochs=4,
+    mask_epochs=4,
+    lr=1e-3,
+    seed=0,
+):
+    """Run the two-step ViTCoD pipeline on a pretrained classification model.
+
+    Parameters
+    ----------
+    pretrained_result:
+        Output of :func:`repro.models.pretrained` (model + dataset + metrics).
+    target_sparsity:
+        Attention sparsity the fixed masks should reach (paper: up to 90-95%).
+    theta_d:
+        Dense threshold for global-token detection (fraction of N).
+    compression:
+        AE head-compression ratio; ``None`` skips Step 1 (ablation:
+        split-and-conquer only).
+    """
+    model = pretrained_result.model
+    dataset = pretrained_result.dataset
+    baseline_acc = pretrained_result.test_accuracy
+    x_tr, y_tr, x_te, y_te = dataset.split()
+
+    # ------------------------------------------------------------------
+    # Step 1: insert AE modules and finetune jointly (Eq. 2).
+    # ------------------------------------------------------------------
+    ae_history = []
+    if compression is not None:
+        attach_autoencoders(model, compression=compression, seed=seed)
+        ae_history = train_classifier(
+            model, dataset, epochs=ae_epochs, lr=lr, seed=seed,
+            extra_loss_fn=reconstruction_term,
+        )
+    _, ae_acc = evaluate_classifier(model, x_te, y_te)
+
+    # ------------------------------------------------------------------
+    # Step 2: split-and-conquer on averaged maps, install masks, finetune.
+    # ------------------------------------------------------------------
+    maps = extract_average_attention(model, x_tr)
+    layer_results = [
+        split_and_conquer(m, target_sparsity=target_sparsity, theta_d=theta_d)
+        for m in maps
+    ]
+    model.set_masks([r.mask for r in layer_results])
+
+    extra = (lambda m: reconstruction_term(m)) if compression is not None else None
+    mask_history = train_classifier(
+        model, dataset, epochs=mask_epochs, lr=lr, seed=seed, extra_loss_fn=extra,
+    )
+    _, final_acc = evaluate_classifier(model, x_te, y_te)
+
+    return ViTCoDPipelineResult(
+        model=model,
+        layer_results=layer_results,
+        baseline_accuracy=baseline_acc,
+        ae_accuracy=ae_acc,
+        final_accuracy=final_acc,
+        compression=compression if compression is not None else 1.0,
+        target_sparsity=target_sparsity,
+        ae_history=ae_history,
+        mask_history=mask_history,
+    )

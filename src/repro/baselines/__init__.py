@@ -1,0 +1,28 @@
+"""Baseline platforms and accelerators the paper compares against."""
+
+from .calibration import (
+    PLATFORM_CALIBRATION,
+    SANGER_CALIBRATION,
+    SPATTEN_CALIBRATION,
+)
+from .platforms import (
+    GeneralPlatform,
+    cpu_platform,
+    edgegpu_platform,
+    gpu_platform,
+)
+from .sanger import SangerSimulator
+from .spatten import SpAttenSimulator, cascade_keep_ratios
+
+__all__ = [
+    "PLATFORM_CALIBRATION",
+    "SANGER_CALIBRATION",
+    "SPATTEN_CALIBRATION",
+    "GeneralPlatform",
+    "cpu_platform",
+    "edgegpu_platform",
+    "gpu_platform",
+    "SangerSimulator",
+    "SpAttenSimulator",
+    "cascade_keep_ratios",
+]

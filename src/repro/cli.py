@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Runs any of the paper's experiments headlessly and prints/export results:
+
+    python -m repro fig15 --sparsity 0.9 --models deit-base levit-128
+    python -m repro fig19 --json results.json
+    python -m repro roofline
+    python -m repro polarize --tokens 197 --heads 12
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import harness
+from .harness.serialization import to_json
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = {
+    "fig1": "accuracy/BLEU vs sparsity curves",
+    "fig3": "roofline analysis",
+    "fig4": "FLOPs + EdgeGPU latency breakdowns",
+    "fig8": "attention-map polarization metrics",
+    "fig15": "speedups over the five baselines",
+    "fig17": "accuracy vs attention latency",
+    "fig19": "latency breakdown + energy",
+    "table1": "accelerator taxonomy",
+    "ablation": "pruning vs reordering",
+    "nlp": "NLP comparison vs Sanger",
+    "roofline": "alias of fig3 with ASCII plot",
+    "polarize": "run Algorithm 1 and draw the mask",
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ViTCoD (HPCA 2023) reproduction experiment runner",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["list"],
+                        help="experiment to run")
+    parser.add_argument("--sparsity", type=float, default=0.9,
+                        help="attention sparsity target (default 0.9)")
+    parser.add_argument("--models", nargs="*", default=None,
+                        help="model names (default: the six DeiT/LeViT)")
+    parser.add_argument("--end-to-end", action="store_true",
+                        help="fig15: end-to-end instead of core attention")
+    parser.add_argument("--tokens", type=int, default=197,
+                        help="polarize: token count")
+    parser.add_argument("--heads", type=int, default=12,
+                        help="polarize: head count")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the raw result as JSON")
+    return parser
+
+
+def _run(args):
+    models = tuple(args.models) if args.models else harness.DEFAULT_MODELS
+    name = args.experiment
+    if name == "list":
+        for key in sorted(EXPERIMENTS):
+            print(f"{key:10s} {EXPERIMENTS[key]}")
+        return None
+
+    if name == "fig1":
+        result = harness.fig1_accuracy_sparsity()
+        print(harness.format_table(
+            ["sparsity"] + list(result["curves"]),
+            [[s] + [result["curves"][c][i] for c in result["curves"]]
+             for i, s in enumerate(result["sparsities"])],
+        ))
+        return result
+
+    if name in ("fig3", "roofline"):
+        result = harness.fig3_roofline()
+        from .roofline import sddmm_roofline_points
+        from .viz import render_roofline
+        print(render_roofline(sddmm_roofline_points()))
+        print(f"\nridge: {result['ridge_ops_per_byte']:.2f} Ops/Byte")
+        return result
+
+    if name == "fig4":
+        result = harness.fig4_breakdown(models=models)
+        print(harness.format_table(
+            ["model", "SA latency frac", "core frac of SA", "MLP FLOPs frac"],
+            [[r["model"], r["sa_latency_fraction"], r["core_fraction_of_sa"],
+              r["flops_fraction"]["mlp"]] for r in result],
+        ))
+        return result
+
+    if name == "fig8":
+        result = harness.fig8_polarization(sparsity=args.sparsity)
+        print(f"mean polarization: {result['mean_polarization']:.3f}")
+        return result
+
+    if name == "fig15":
+        result = harness.fig15_speedups(sparsity=args.sparsity, models=models,
+                                        end_to_end=args.end_to_end)
+        baselines = list(result["mean"])
+        rows = [
+            [m] + [result["per_model"][m][b] for b in baselines]
+            for m in result["per_model"]
+        ]
+        rows.append(["MEAN"] + [result["mean"][b] for b in baselines])
+        print(harness.format_table(["model"] + baselines, rows,
+                                   float_fmt="{:.1f}"))
+        return result
+
+    if name == "fig17":
+        result = harness.fig17_accuracy_latency(models=models,
+                                                sparsity=args.sparsity)
+        print(harness.format_table(
+            ["model", "latency reduction", "accuracy drop"],
+            [[r["model"], r["latency_reduction"],
+              r["dense_accuracy"] - r["vitcod_accuracy"]] for r in result],
+        ))
+        return result
+
+    if name == "fig19":
+        result = harness.fig19_breakdown_energy(models=models)
+        from .viz import render_breakdown
+        for design, fr in result["mean_breakdown_at_max_sparsity"].items():
+            print(f"{design:14s}", render_breakdown(fr))
+        print(f"\nS&C vs Sanger: {result['speedup_sc_only_vs_sanger']:.2f}x; "
+              f"AE on top: {result['speedup_ae_on_top']:.2f}x; "
+              f"energy eff vs Sanger: "
+              f"{result['energy_efficiency_vs_sanger']:.2f}x")
+        return result
+
+    if name == "table1":
+        result = harness.table1_taxonomy()
+        print(harness.format_table(
+            ["accelerator", "field", "dataflow", "pattern", "codesign"],
+            [[r["accelerator"], r["field"], r["dataflow"], r["pattern"],
+              "yes" if r["codesign"] else "no"] for r in result],
+        ))
+        return result
+
+    if name == "ablation":
+        result = harness.ablation_prune_reorder()
+        print(harness.format_table(
+            ["sparsity", "pruning benefit", "reordering benefit"],
+            [[r["sparsity"], r["pruning_benefit"], r["reordering_benefit"]]
+             for r in result["rows"]],
+        ))
+        return result
+
+    if name == "nlp":
+        result = harness.nlp_comparison()
+        print(harness.format_table(
+            ["sparsity", "speedup vs Sanger", "fixed-mask BLEU drop"],
+            [[r["sparsity"], r["speedup_vs_sanger"],
+              r["fixed_mask_bleu_drop"]] for r in result],
+        ))
+        return result
+
+    if name == "polarize":
+        from .sparsity import split_and_conquer, synthetic_vit_attention
+        from .viz import render_mask
+        maps = synthetic_vit_attention(args.tokens, num_heads=args.heads)
+        result_obj = split_and_conquer(maps, target_sparsity=args.sparsity)
+        print(render_mask(result_obj.partitions[0].reordered_mask))
+        print(f"\nsparsity {result_obj.sparsity:.1%}, "
+              f"global tokens {result_obj.num_global_tokens.tolist()}")
+        return {
+            "sparsity": result_obj.sparsity,
+            "num_global_tokens": result_obj.num_global_tokens.tolist(),
+        }
+
+    raise SystemExit(f"unknown experiment {name!r}")  # pragma: no cover
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    result = _run(args)
+    if args.json and result is not None:
+        with open(args.json, "w") as fh:
+            fh.write(to_json(result))
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Hardware compiler: layer configs → instruction streams (Fig. 14).
+
+One-time compilation per task; the generated program reconfigures the
+accelerator (buffer allocation, PE split, accumulation mode) and sequences
+the attention pipeline with encode/decode steps around off-chip transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .isa import Opcode, Program
+from .parser import LayerConfig
+
+__all__ = ["compile_layers"]
+
+
+def compile_layers(layer_configs: Sequence[LayerConfig], name="vit",
+                   use_ae=True) -> Program:
+    """Emit the instruction stream for a full model's attention layers."""
+    program = Program(name=name)
+    for cfg in layer_configs:
+        program.append(
+            Opcode.CONFIGURE,
+            layer=cfg.layer_index,
+            denser_lines=cfg.denser_lines,
+            sparser_lines=cfg.sparser_lines,
+            accumulation="inter_pe",  # K-stationary SDDMM mode (Fig. 12 ❶)
+        )
+        program.append(Opcode.LOAD_INDEX, layer=cfg.layer_index,
+                       format="csc", nnz=cfg.sparser_nnz)
+        program.append(Opcode.LOAD, tensor="K", compressed=use_ae)
+        program.append(Opcode.LOAD, tensor="Q", compressed=use_ae)
+        if use_ae:
+            program.append(Opcode.DECODE, tensor="K")
+            program.append(Opcode.DECODE, tensor="Q")
+        program.append(
+            Opcode.SDDMM_DENSE,
+            layer=cfg.layer_index,
+            global_tokens=cfg.num_global_tokens,
+        )
+        program.append(
+            Opcode.SDDMM_SPARSE, layer=cfg.layer_index, nnz=cfg.sparser_nnz
+        )
+        program.append(Opcode.SOFTMAX, layer=cfg.layer_index)
+        program.append(
+            Opcode.CONFIGURE,
+            layer=cfg.layer_index,
+            accumulation="intra_pe",  # output-stationary SpMM mode (❷)
+        )
+        program.append(Opcode.LOAD, tensor="V", compressed=False)
+        program.append(Opcode.SPMM, layer=cfg.layer_index)
+        program.append(Opcode.STORE, tensor="V_out", compressed=False)
+    return program

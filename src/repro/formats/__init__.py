@@ -1,0 +1,15 @@
+"""Sparse storage formats and tiling utilities."""
+
+from .sparse import CSCMatrix, CSRMatrix, COOMatrix, index_bytes
+from .tiling import TileGrid, tile_1d, tiles_for_matmul, fits_in_buffer
+
+__all__ = [
+    "CSCMatrix",
+    "CSRMatrix",
+    "COOMatrix",
+    "index_bytes",
+    "TileGrid",
+    "tile_1d",
+    "tiles_for_matmul",
+    "fits_in_buffer",
+]

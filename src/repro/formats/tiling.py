@@ -1,0 +1,56 @@
+"""Tiling helpers for mapping matrices onto fixed-size buffers/PE arrays.
+
+The denser engine tiles Q/K along the feature dimension and S/V along the
+token dimension (paper Fig. 13); these helpers compute tile grids and check
+buffer capacity so the simulator charges extra DRAM round-trips when an
+operand does not fit on chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+__all__ = ["TileGrid", "tile_1d", "tiles_for_matmul", "fits_in_buffer"]
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A 1-D tiling: ``count`` tiles covering ``total`` elements."""
+
+    total: int
+    tile: int
+
+    def __post_init__(self):
+        if self.total < 0 or self.tile <= 0:
+            raise ValueError(f"invalid tiling total={self.total} tile={self.tile}")
+
+    @property
+    def count(self):
+        return ceil(self.total / self.tile) if self.total else 0
+
+    @property
+    def last_tile(self):
+        if self.total == 0:
+            return 0
+        rem = self.total % self.tile
+        return rem if rem else self.tile
+
+    def sizes(self):
+        """Tile sizes in order (all ``tile`` except possibly the last)."""
+        if self.count == 0:
+            return []
+        return [self.tile] * (self.count - 1) + [self.last_tile]
+
+
+def tile_1d(total, tile):
+    return TileGrid(total=total, tile=tile)
+
+
+def tiles_for_matmul(m, k, n, tile_m, tile_k, tile_n):
+    """Number of (m, k, n) tile triples for a blocked GEMM."""
+    return tile_1d(m, tile_m).count * tile_1d(k, tile_k).count * tile_1d(n, tile_n).count
+
+
+def fits_in_buffer(num_elements, bytes_per_element, buffer_bytes):
+    return num_elements * bytes_per_element <= buffer_bytes

@@ -1,0 +1,131 @@
+"""Design-space exploration (DSE) over ViTCoD accelerator configurations.
+
+The paper motivates its design-point choices (512 MACs, 76.8 GB/s, 320 KB
+SRAM, 0.5 AE compression) qualitatively; this module makes the trade-offs
+measurable: sweep any subset of {MAC lines, bandwidth, buffer size, AE
+compression, forwarding hit rate} over a workload, collect latency/energy,
+and extract the Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..hw.accelerator import ViTCoDAccelerator
+from ..hw.params import VITCOD_DEFAULT, HardwareConfig
+from ..hw.workload import ModelWorkload
+
+__all__ = ["DesignPoint", "sweep_design_space", "pareto_frontier",
+           "sensitivity"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    parameters: tuple  # sorted (name, value) pairs
+    seconds: float
+    energy_joules: float
+    area_proxy: float  # MAC count (a first-order area stand-in)
+
+    def parameter(self, name):
+        return dict(self.parameters)[name]
+
+    @property
+    def edp(self):
+        """Energy-delay product (J·s) — the usual DSE objective."""
+        return self.seconds * self.energy_joules
+
+
+def _apply(config: HardwareConfig, accel_kwargs: dict, name, value):
+    """Route one swept parameter to the config or the accelerator."""
+    if name == "mac_lines":
+        return replace(config, num_mac_lines=int(value)), accel_kwargs
+    if name == "bandwidth_gbps":
+        return replace(
+            config, dram_bandwidth_bytes_per_s=float(value) * 1e9
+        ), accel_kwargs
+    if name == "act_buffer_kb":
+        return replace(config, act_buffer_bytes=int(value * 1024)), accel_kwargs
+    if name == "ae_compression":
+        if value is None:
+            return config, {**accel_kwargs, "use_ae": False}
+        return config, {**accel_kwargs, "use_ae": True,
+                        "ae_compression": float(value)}
+    if name == "q_forwarding_hit_rate":
+        return config, {**accel_kwargs, "q_forwarding_hit_rate": float(value)}
+    raise KeyError(
+        f"unknown DSE parameter {name!r}; choose from mac_lines, "
+        "bandwidth_gbps, act_buffer_kb, ae_compression, q_forwarding_hit_rate"
+    )
+
+
+def sweep_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
+                       base_config: HardwareConfig = None) -> List[DesignPoint]:
+    """Evaluate the cross product of ``grid`` on ``workload``.
+
+    Example
+    -------
+    >>> grid = {"mac_lines": [32, 64, 128], "ae_compression": [None, 0.5]}
+    >>> points = sweep_design_space(workload, grid)
+    """
+    base_config = base_config or VITCOD_DEFAULT
+    if not grid:
+        raise ValueError("empty DSE grid")
+    names = sorted(grid)
+    points = []
+    for values in product(*(grid[n] for n in names)):
+        config = base_config
+        accel_kwargs: dict = {}
+        for name, value in zip(names, values):
+            config, accel_kwargs = _apply(config, accel_kwargs, name, value)
+        accel = ViTCoDAccelerator(config=config, **accel_kwargs)
+        report = accel.simulate_attention(workload)
+        points.append(
+            DesignPoint(
+                parameters=tuple(zip(names, values)),
+                seconds=report.seconds,
+                energy_joules=report.energy_joules,
+                area_proxy=config.total_macs,
+            )
+        )
+    return points
+
+
+def pareto_frontier(points: Sequence[DesignPoint],
+                    objectives=("seconds", "energy_joules")) -> List[DesignPoint]:
+    """Non-dominated subset under the given minimise-objectives."""
+    if not points:
+        return []
+    values = np.array(
+        [[getattr(p, obj) for obj in objectives] for p in points]
+    )
+    keep = []
+    for i, row in enumerate(values):
+        dominated = np.any(
+            np.all(values <= row, axis=1)
+            & np.any(values < row, axis=1)
+        )
+        if not dominated:
+            keep.append(points[i])
+    return keep
+
+
+def sensitivity(workload: ModelWorkload, parameter, values,
+                base_config: HardwareConfig = None) -> List[dict]:
+    """One-dimensional sensitivity: latency/energy vs one parameter."""
+    points = sweep_design_space(workload, {parameter: list(values)},
+                                base_config=base_config)
+    return [
+        {
+            parameter: p.parameter(parameter),
+            "seconds": p.seconds,
+            "energy_joules": p.energy_joules,
+            "edp": p.edp,
+        }
+        for p in points
+    ]

@@ -1,0 +1,32 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_speedup_row"]
+
+
+def format_table(headers, rows, float_fmt="{:.2f}"):
+    """Render a list of rows (sequences) as an aligned ASCII table."""
+    def render(cell):
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_row(name, speedups):
+    """One row of a Fig. 15-style speedup table."""
+    return [name] + [f"{s:.1f}x" for s in speedups]

@@ -1,0 +1,81 @@
+"""Accuracy-vs-sparsity surrogates calibrated to the paper's reported points.
+
+We cannot finetune DeiT/LeViT on ImageNet offline, so Fig. 1 / Fig. 17's
+*accuracy axes* use analytical surrogates anchored to the paper's numbers,
+while the *trend* (fixed masks stay accurate to 90-95 % on ViTs; dynamic NLP
+pruning degrades past ~50-70 %) is additionally verified for real on our
+small trained models (see ``repro.autoencoder.pipeline`` and the fig1
+benchmark's measured mode).
+
+Anchors:
+* ViTs (paper abstract / §VI-C): ≤1 % drop at 90 % sparsity for DeiT, 80 %
+  for LeViT; ≤1.5 % at 90 % for DeiT-Base info-pruning (Fig. 1).
+* NLP (Fig. 1, IWSLT En→De BLEU): dynamic methods hold to ~50-70 %, then
+  fall steeply; fixed masks on NLP lose ~1.18 % already at 60 % (§VI-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "vit_fixed_mask_accuracy",
+    "nlp_dynamic_accuracy",
+    "nlp_fixed_mask_accuracy",
+    "BASELINE_ACCURACY",
+]
+
+#: Published dense baselines (ImageNet top-1 for ViTs; BLEU-like scale NLP).
+BASELINE_ACCURACY = {
+    "deit-tiny": 72.2,
+    "deit-small": 79.9,
+    "deit-base": 81.8,
+    "levit-128": 78.6,
+    "levit-192": 80.0,
+    "levit-256": 81.6,
+    "nlp-transformer": 34.5,  # BLEU, IWSLT En→De
+}
+
+
+def _knee_curve(sparsity, knee, gentle, steep):
+    """Flat-ish drop before ``knee``, quadratic blow-up after."""
+    sparsity = np.asarray(sparsity, dtype=np.float64)
+    below = gentle * sparsity
+    above = gentle * sparsity + steep * (np.maximum(sparsity - knee, 0.0) ** 2)
+    return np.where(sparsity <= knee, below, above)
+
+
+def vit_fixed_mask_accuracy(model, sparsity):
+    """Accuracy of a ViT under fixed-mask pruning + finetuning (Fig. 1/17).
+
+    DeiT models hold 90 % sparsity within ~1 %; LeViT (already lean) holds
+    80 %; drops accelerate beyond the knee.
+    """
+    if model not in BASELINE_ACCURACY:
+        raise KeyError(f"unknown model {model!r}")
+    base = BASELINE_ACCURACY[model]
+    knee = 0.90 if model.startswith("deit") else 0.80
+    drop = _knee_curve(sparsity, knee=knee, gentle=1.0, steep=160.0)
+    return base - drop
+
+
+def nlp_dynamic_accuracy(sparsity, method="predictor"):
+    """BLEU of NLP Transformers under *dynamic* sparse attention (Fig. 1).
+
+    Representative of the collected curves (BigBird, Reformer, Routing,
+    Longformer…): roughly flat to ~50 %, clearly degrading past 70 %.
+    """
+    base = BASELINE_ACCURACY["nlp-transformer"]
+    knees = {"predictor": 0.65, "hashing": 0.55, "window": 0.50}
+    if method not in knees:
+        raise KeyError(f"unknown method {method!r}; choose from {sorted(knees)}")
+    drop = _knee_curve(sparsity, knee=knees[method], gentle=1.5, steep=80.0)
+    return base - drop
+
+
+def nlp_fixed_mask_accuracy(sparsity):
+    """BLEU-scale accuracy of *fixed* masks on NLP (§VI-B): loses ~1.18
+    points already at 60 % — the reason ViTCoD targets ViTs."""
+    base = BASELINE_ACCURACY["nlp-transformer"]
+    drop = _knee_curve(sparsity, knee=0.40, gentle=1.0, steep=12.0)
+    return base - drop

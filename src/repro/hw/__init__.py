@@ -1,0 +1,55 @@
+"""ViTCoD accelerator simulator (paper §V)."""
+
+from .params import EnergyTable, HardwareConfig, VITCOD_DEFAULT
+from .workload import (
+    HeadWorkload,
+    AttentionWorkload,
+    GemmWorkload,
+    ModelWorkload,
+    attention_workload_from_masks,
+    dense_attention_workload,
+    synthetic_attention_workload,
+    model_workload,
+)
+from .trace import LatencyBreakdown, EnergyBreakdown, SimReport
+from .dataflow import (
+    k_stationary_sddmm_cycles,
+    s_stationary_sddmm_cycles,
+    output_stationary_spmm_cycles,
+    dense_gemm_cycles,
+    softmax_cycles,
+)
+from .allocator import Allocation, allocate_mac_lines
+from .accelerator import ViTCoDAccelerator
+from .dram import DramModel, DramRequest
+from .cycle_sim import CycleAccurateSimulator, CycleSimResult, Timeline
+
+__all__ = [
+    "EnergyTable",
+    "HardwareConfig",
+    "VITCOD_DEFAULT",
+    "HeadWorkload",
+    "AttentionWorkload",
+    "GemmWorkload",
+    "ModelWorkload",
+    "attention_workload_from_masks",
+    "dense_attention_workload",
+    "synthetic_attention_workload",
+    "model_workload",
+    "LatencyBreakdown",
+    "EnergyBreakdown",
+    "SimReport",
+    "k_stationary_sddmm_cycles",
+    "s_stationary_sddmm_cycles",
+    "output_stationary_spmm_cycles",
+    "dense_gemm_cycles",
+    "softmax_cycles",
+    "Allocation",
+    "allocate_mac_lines",
+    "ViTCoDAccelerator",
+    "DramModel",
+    "DramRequest",
+    "CycleAccurateSimulator",
+    "CycleSimResult",
+    "Timeline",
+]

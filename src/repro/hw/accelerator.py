@@ -1,0 +1,328 @@
+"""Cycle-level simulator of the ViTCoD accelerator (paper §V, Fig. 12).
+
+The simulator is analytical-event style: for each attention layer it derives
+phase times (index preprocess → Q/K load + decode + SDDMM → softmax → SpMM)
+from the workload's polarized statistics, models compute/memory overlap by
+taking per-phase ``max(compute, memory)``, and attributes the excess memory
+time to the ``data_movement`` latency category so Fig. 19's breakdown can be
+regenerated.  Dense layers (QKV generation, projections, MLP) reuse the
+reconfigured MAC array (§V-B.3).
+
+Key modelled mechanisms, each traceable to the paper:
+
+* K-stationary SDDMM with the denser/sparser two-pronged split and dynamic
+  MAC-line allocation (§V-B.1);
+* CSC index preloading for the sparser engine (§V-B.1);
+* Q streaming per K-tile when the decoded working set exceeds the on-chip
+  Q/K buffers, and the AE halving that stream's DRAM traffic (§V-A Opp. 2);
+* on-chip encoder/decoder engines whose MAC lines are borrowed from the
+  array while active and returned otherwise (§V-B.2);
+* output-stationary SpMM keeping V′ in PE registers (Fig. 13b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from .allocator import allocate_mac_lines
+from .dataflow import (
+    dense_gemm_cycles,
+    k_stationary_sddmm_cycles,
+    output_stationary_spmm_cycles,
+    s_stationary_sddmm_cycles,
+    softmax_cycles,
+)
+from .params import VITCOD_DEFAULT, HardwareConfig
+from .trace import EnergyBreakdown, LatencyBreakdown, SimReport
+from .workload import AttentionWorkload, GemmWorkload, ModelWorkload
+
+__all__ = ["ViTCoDAccelerator"]
+
+
+@dataclass
+class ViTCoDAccelerator:
+    """Configurable ViTCoD design point.
+
+    Parameters
+    ----------
+    config:
+        Hardware resources (defaults to the paper's 512-MAC design).
+    use_ae:
+        Enable the auto-encoder datapath (encoder/decoder engines +
+        compressed Q/K traffic).
+    ae_compression:
+        Compressed-to-original head ratio (paper: 0.5).
+    two_pronged:
+        Run denser and sparser engines in parallel with dynamic allocation;
+        ``False`` serialises both workloads on the full array (ablation).
+    dataflow:
+        ``"k_stationary"`` (paper's choice) or ``"s_stationary"`` (ablation).
+    enc_dec_lines:
+        MAC lines reserved for the decoder while Q/K stream in.
+    """
+
+    config: HardwareConfig = None
+    use_ae: bool = True
+    ae_compression: float = 0.5
+    two_pronged: bool = True
+    dataflow: str = "k_stationary"
+    #: hit rate of query-based Q forwarding: scattered sparser-engine Q
+    #: fetches served from the denser engine's resident Q buffer (§V-B.1).
+    q_forwarding_hit_rate: float = 0.3
+    name: str = "ViTCoD"
+    #: DRAM row-miss amplification applied to scattered fetches when no
+    #: streaming fallback exists (unreordered masks); see repro.hw.dram.
+    _scatter_amplification: float = 1.0
+
+    def __post_init__(self):
+        if self.config is None:
+            self.config = VITCOD_DEFAULT
+        if self.dataflow not in ("k_stationary", "s_stationary"):
+            raise ValueError(f"unknown dataflow {self.dataflow!r}")
+        if not 0.0 < self.ae_compression <= 1.0:
+            raise ValueError("ae_compression must be in (0, 1]")
+        if not 0.0 <= self.q_forwarding_hit_rate < 1.0:
+            raise ValueError("q_forwarding_hit_rate must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    # Attention layer
+    # ------------------------------------------------------------------
+    def simulate_attention_layer(self, layer: AttentionWorkload) -> SimReport:
+        cfg = self.config
+        b = cfg.bytes_per_element
+        bpc = cfg.bytes_per_cycle
+        n, d = layer.num_tokens, layer.embed_dim
+        dk, H = layer.head_dim, layer.num_heads
+        ratio = self.ae_compression if self.use_ae else 1.0
+
+        latency = LatencyBreakdown()
+        energy = EnergyBreakdown()
+        mac_count = 0
+        dram_bytes = 0
+
+        # ---------------- preprocess: CSC/COO index preload ------------
+        idx_bytes = layer.index_bytes()
+        latency.preprocess += idx_bytes / bpc
+        dram_bytes += idx_bytes
+
+        # ---------------- SDDMM phase ----------------------------------
+        # Memory model (see DESIGN.md §"hardware model"):
+        #   * Q and K each stream through once, in head-sized chunks that fit
+        #     the Q/V and K/S buffers (heads map to MAC-line chunks, §V-B.1),
+        #     compressed by the AE ratio when the AE datapath is on;
+        #   * sparser-region non-zeros lying off the diagonal band lose that
+        #     streaming locality and trigger scattered per-token Q fetches,
+        #     mitigated by query-based forwarding from the denser engine's
+        #     buffer and by AE compression of the fetched token rows;
+        #   * the decoder is sized to sustain DRAM line rate (the paper
+        #     pipelines decode behind the stream), so it contributes energy
+        #     and MAC work but does not throttle the stream.
+        tensor_bytes = n * d * b  # one of Q / K / V, decoded
+        # All heads process in parallel (head-per-MAC-line chunks), so the
+        # K/S buffer holds a token window across every head; K is kept in
+        # compressed form on chip when the AE is active (decoded at line
+        # rate into the PE staging registers), which widens the window.
+        k_window_bytes = cfg.act_buffer_bytes / 2
+        k_tiles = max(1, ceil(tensor_bytes * ratio / k_window_bytes))
+        stream_bytes = tensor_bytes * ratio * (1 + k_tiles)  # K once + Q/tile
+        fwd = self.q_forwarding_hit_rate if self.two_pronged else 0.0
+        # Scattered fetches: with the reordered (polarized) layout the
+        # scheduler can fall back to one extra full (compressed) sequential
+        # Q stream when scattering would cost more — at low sparsity the
+        # "scattered" non-zeros cover most rows and streaming wins.  Without
+        # reordering there is no streaming order to fall back to: the raw
+        # per-token fetches stand, amplified by DRAM row misses.
+        scatter_raw = layer.scattered_nnz * dk * b * ratio * (1.0 - fwd)
+        if layer.streaming_fallback:
+            scatter_bytes = min(scatter_raw, tensor_bytes * ratio)
+        else:
+            scatter_bytes = scatter_raw * self._scatter_amplification
+        sddmm_dram = stream_bytes + scatter_bytes
+        dram_bytes += sddmm_dram
+
+        # Decoder work: every compressed element read back costs H MACs to
+        # reconstruct the full head dimension (enc weight is Hc×H).
+        decode_macs = int(sddmm_dram / b) * H if self.use_ae else 0
+        memory_cycles = sddmm_dram / bpc
+
+        compute_lines = cfg.num_mac_lines
+        denser_products = sum(h.num_global_tokens * h.num_tokens for h in layer.heads)
+        sparser_products = sum(h.sparser_nnz for h in layer.heads)
+        denser_macs = denser_products * dk
+        sparser_macs = sparser_products * dk
+
+        if self.dataflow == "s_stationary":
+            # Ablation: Sanger-style spatial mapping on the same workload.
+            eff = self._s_stationary_pack_efficiency(layer)
+            sddmm_compute = s_stationary_sddmm_cycles(
+                denser_products + sparser_products,
+                dk,
+                compute_lines * cfg.macs_per_line,
+                pack_efficiency=eff,
+            )
+        elif self.two_pronged:
+            alloc = allocate_mac_lines(compute_lines, denser_macs, sparser_macs)
+            denser_cycles = k_stationary_sddmm_cycles(
+                denser_products, dk, max(alloc.denser_lines, 1), cfg.macs_per_line
+            ) if denser_products else 0
+            sparser_cycles = k_stationary_sddmm_cycles(
+                sparser_products, dk, max(alloc.sparser_lines, 1), cfg.macs_per_line
+            ) if sparser_products else 0
+            sddmm_compute = max(denser_cycles, sparser_cycles)
+        else:
+            # Single-engine ablation: the mixed column population (full
+            # global-token columns interleaved with nearly-empty sparse
+            # ones) causes temporal load imbalance — MAC lines idle while a
+            # heavy column drains.  Utilization degrades with the
+            # coefficient of variation of per-column work (§III-A), which
+            # the two-pronged split restores by giving each engine a
+            # near-uniform population.
+            single_util = 0.9 / (1.0 + 0.3 * layer.column_cv())
+            sddmm_compute = ceil(
+                (
+                    k_stationary_sddmm_cycles(
+                        denser_products, dk, compute_lines, cfg.macs_per_line
+                    )
+                    + k_stationary_sddmm_cycles(
+                        sparser_products, dk, compute_lines, cfg.macs_per_line
+                    )
+                )
+                / max(single_util, 0.1)
+            )
+
+        phase = max(sddmm_compute, memory_cycles)
+        latency.compute += sddmm_compute
+        latency.data_movement += phase - sddmm_compute
+        mac_count += denser_macs + sparser_macs + decode_macs
+
+        # ---------------- SpMM phase -----------------------------------
+        # V streams in and V' writes back uncompressed (the AE covers Q/K
+        # only); scattered S non-zeros outside the streaming window gather
+        # their V rows individually, with the same fallback rule as above.
+        spmm_scatter_raw = layer.scattered_nnz * dk * b
+        if layer.streaming_fallback:
+            spmm_scatter = min(spmm_scatter_raw, tensor_bytes)
+        else:
+            spmm_scatter = spmm_scatter_raw * self._scatter_amplification
+        spmm_dram = 2 * tensor_bytes + spmm_scatter
+        dram_bytes += spmm_dram
+        total_nnz = layer.total_nnz
+        spmm_products = total_nnz
+        spmm_compute = output_stationary_spmm_cycles(
+            spmm_products, dk, cfg.num_mac_lines, cfg.macs_per_line
+        )
+        spmm_phase = max(spmm_compute, spmm_dram / bpc)
+        latency.compute += spmm_compute
+        latency.data_movement += spmm_phase - spmm_compute
+        mac_count += layer.spmm_macs
+
+        # ---------------- softmax --------------------------------------
+        # Dedicated per-engine softmax units consume completed attention-map
+        # columns while SDDMM/SpMM continue (Fig. 12), so only the portion
+        # exceeding the MAC-side busy time lands on the critical path.
+        sm_cycles = softmax_cycles(total_nnz, n * H, lanes=cfg.softmax_lanes)
+        latency.compute += max(0, sm_cycles - (phase + spmm_phase))
+        energy.other += total_nnz * cfg.energy.softmax_op_pj
+
+        self._charge_energy(energy, mac_count, dram_bytes, latency.total)
+        return SimReport(
+            platform=self.name,
+            workload=f"attention(n={n}, H={H}, dk={dk})",
+            latency=latency,
+            energy=energy,
+            frequency_hz=cfg.frequency_hz,
+            details={
+                "stream_bytes": stream_bytes,
+                "scatter_bytes": scatter_bytes,
+                "sddmm_compute": sddmm_compute,
+                "sddmm_memory": memory_cycles,
+                "spmm_compute": spmm_compute,
+                "mac_count": mac_count,
+                "dram_bytes": dram_bytes,
+            },
+        )
+
+    def _s_stationary_pack_efficiency(self, layer):
+        """Packing efficiency of a rigid spatial array on this mask (the
+        fraction of PE slots holding real non-zeros after row packing)."""
+        rows = 0
+        slots = 0
+        width = self.config.macs_per_line * 2
+        for head in layer.heads:
+            per_row = head.total_nnz / head.num_tokens
+            rows += head.num_tokens
+            slots += ceil(max(per_row, 1) / width) * width * head.num_tokens
+        nnz = layer.total_nnz
+        return min(1.0, max(nnz / slots, 0.05)) if slots else 1.0
+
+    # ------------------------------------------------------------------
+    # Dense layers (QKV generation, projection, MLP) — §V-B.3
+    # ------------------------------------------------------------------
+    def simulate_gemm(self, gemm: GemmWorkload, compress_output=False) -> SimReport:
+        cfg = self.config
+        b = cfg.bytes_per_element
+        compute = dense_gemm_cycles(gemm.m, gemm.k, gemm.n, cfg.total_macs)
+
+        out_ratio = 1.0
+        encode_macs = 0
+        if compress_output and self.use_ae:
+            # QKV generation: Q and K (2/3 of the output) are encoded before
+            # the off-chip writeback; the encoder engine is pipelined behind
+            # the GEMM (§V-B.2) so only its energy is charged.
+            out_ratio = (2 * self.ae_compression + 1) / 3
+            encode_macs = int(gemm.m * gemm.n * (2 / 3) * self.ae_compression)
+
+        traffic = gemm.weight_bytes(b) + gemm.m * gemm.k * b + gemm.m * gemm.n * b * out_ratio
+        phase = max(compute, traffic / cfg.bytes_per_cycle)
+
+        latency = LatencyBreakdown(
+            compute=compute, data_movement=phase - compute
+        )
+        energy = EnergyBreakdown()
+        self._charge_energy(energy, gemm.macs + encode_macs, traffic, latency.total)
+        return SimReport(
+            platform=self.name,
+            workload=gemm.name,
+            latency=latency,
+            energy=energy,
+            frequency_hz=cfg.frequency_hz,
+            details={"dram_bytes": traffic, "mac_count": gemm.macs + encode_macs},
+        )
+
+    # ------------------------------------------------------------------
+    # Whole models
+    # ------------------------------------------------------------------
+    def simulate_attention(self, model: ModelWorkload) -> SimReport:
+        """Core attention workload only (paper Fig. 15a / Fig. 19)."""
+        report = None
+        for layer in model.attention_layers:
+            r = self.simulate_attention_layer(layer)
+            report = r if report is None else report.merged(r)
+        report.workload = f"{model.name}:attention"
+        report.details = {"layers": len(model.attention_layers)}
+        return report
+
+    def simulate_model(self, model: ModelWorkload) -> SimReport:
+        """End-to-end simulation (attention + all dense layers, Fig. 15b)."""
+        report = self.simulate_attention(model)
+        for gemm in model.linear_layers:
+            compress = gemm.name.endswith(".qkv")
+            report = report.merged(self.simulate_gemm(gemm, compress_output=compress))
+        report.workload = f"{model.name}:end2end"
+        report.details = {
+            "attention_layers": len(model.attention_layers),
+            "linear_layers": len(model.linear_layers),
+        }
+        return report
+
+    # ------------------------------------------------------------------
+    def _charge_energy(self, energy, macs, dram_bytes, cycles):
+        e = self.config.energy
+        energy.mac += macs * e.mac_pj
+        energy.dram += dram_bytes * e.dram_byte_pj
+        # SRAM: fills/drains mirror DRAM traffic; operand fetch is amortised
+        # by MAC-line broadcast (one K vector feeds a whole line).
+        sram_bytes = 2 * dram_bytes + macs * self.config.bytes_per_element / 4
+        energy.sram += sram_bytes * e.sram_byte_pj
+        energy.static += cycles * e.static_pj_per_cycle

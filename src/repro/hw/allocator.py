@@ -1,0 +1,47 @@
+"""Dynamic PE allocation between the Denser and Sparser engines (§V-B.1).
+
+Because the fixed masks are known a priori, the per-layer workload of each
+engine can be computed at compile time and MAC lines split proportionally —
+"we allocate hardware resource to each engine proportional to its assigned
+workload size".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Allocation", "allocate_mac_lines"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    denser_lines: int
+    sparser_lines: int
+
+    @property
+    def total(self):
+        return self.denser_lines + self.sparser_lines
+
+
+def allocate_mac_lines(total_lines, denser_macs, sparser_macs, reserve_min=1):
+    """Split ``total_lines`` proportionally to the two engines' MAC counts.
+
+    Each engine keeps at least ``reserve_min`` lines while it has work; an
+    engine with zero work cedes everything to the other.
+    """
+    if total_lines < 2:
+        raise ValueError("need at least 2 MAC lines to allocate")
+    if denser_macs < 0 or sparser_macs < 0:
+        raise ValueError("workload sizes must be non-negative")
+
+    if denser_macs == 0 and sparser_macs == 0:
+        half = total_lines // 2
+        return Allocation(denser_lines=half, sparser_lines=total_lines - half)
+    if sparser_macs == 0:
+        return Allocation(denser_lines=total_lines, sparser_lines=0)
+    if denser_macs == 0:
+        return Allocation(denser_lines=0, sparser_lines=total_lines)
+
+    denser = round(total_lines * denser_macs / (denser_macs + sparser_macs))
+    denser = min(max(denser, reserve_min), total_lines - reserve_min)
+    return Allocation(denser_lines=denser, sparser_lines=total_lines - denser)

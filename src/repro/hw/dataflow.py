@@ -1,0 +1,101 @@
+"""Dataflow cost models (paper §V-A, Fig. 11 and Fig. 13).
+
+Three mappings matter:
+
+* **K-stationary SDDMM** (ViTCoD's choice): a K vector stays resident while
+  MAC lines compute its column of attention scores, one Q·K dot product per
+  line, with the feature dimension spread over a line's MACs and reduced by
+  inter-PE accumulation.  Only (q, k) pairs indexed by the mask are issued.
+* **S-stationary SDDMM** (Sanger's choice): attention scores map spatially,
+  one PE per score, features arriving sequentially with intra-PE
+  accumulation.  Q/K are fully reused but sparse patterns must be packed
+  into the array, costing utilization, and partial sums occupy PE registers.
+* **Output-stationary SpMM** (both phases' second step): V′ rows stay in PE
+  registers; S and V stream through.
+
+All functions return cycle counts; they are pure so the ablation bench can
+compare mappings on identical workloads.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+__all__ = [
+    "k_stationary_sddmm_cycles",
+    "s_stationary_sddmm_cycles",
+    "output_stationary_spmm_cycles",
+    "dense_gemm_cycles",
+    "softmax_cycles",
+]
+
+
+def k_stationary_sddmm_cycles(num_products, head_dim, mac_lines, macs_per_line=8):
+    """Cycles for ``num_products`` masked Q·K dot products on ``mac_lines``.
+
+    Each line computes one dot product in ``ceil(head_dim / macs_per_line)``
+    cycles (feature dim mapped spatially, inter-PE accumulation — Fig. 12 ❶);
+    lines work on different products in parallel.
+    """
+    if mac_lines <= 0:
+        raise ValueError("mac_lines must be positive")
+    if num_products == 0:
+        return 0
+    cycles_per_wave = ceil(head_dim / macs_per_line)
+    waves = ceil(num_products / mac_lines)
+    return waves * cycles_per_wave
+
+
+def s_stationary_sddmm_cycles(num_products, head_dim, total_macs,
+                              pack_efficiency=1.0):
+    """Cycles for an S-stationary mapping of ``num_products`` scores.
+
+    One PE per score; a batch of ``total_macs × pack_efficiency`` scores
+    retires every ``head_dim`` cycles.  ``pack_efficiency`` < 1 models the
+    slots wasted when sparse rows are packed into the rigid array (Sanger's
+    pack-and-split).
+    """
+    if total_macs <= 0:
+        raise ValueError("total_macs must be positive")
+    if not 0.0 < pack_efficiency <= 1.0:
+        raise ValueError(f"pack_efficiency must be in (0, 1], got {pack_efficiency}")
+    if num_products == 0:
+        return 0
+    effective = total_macs * pack_efficiency
+    waves = ceil(num_products / effective)
+    return waves * head_dim
+
+
+def output_stationary_spmm_cycles(nnz, head_dim, mac_lines, macs_per_line=8):
+    """Cycles for S·V with V′ rows stationary (intra-PE accumulation, ❷).
+
+    Every kept attention score drives a ``head_dim``-wide AXPY into its V′
+    row; a line retires ``macs_per_line`` features per cycle.
+    """
+    if mac_lines <= 0:
+        raise ValueError("mac_lines must be positive")
+    if nnz == 0:
+        return 0
+    cycles_per_update = ceil(head_dim / macs_per_line)
+    waves = ceil(nnz / mac_lines)
+    return waves * cycles_per_update
+
+
+def dense_gemm_cycles(m, k, n, total_macs, utilization=0.85):
+    """Cycles for a dense (m×k)·(k×n) GEMM on the whole reconfigured array."""
+    if total_macs <= 0:
+        raise ValueError("total_macs must be positive")
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+    macs = m * k * n
+    if macs == 0:
+        return 0
+    return ceil(macs / (total_macs * utilization))
+
+
+def softmax_cycles(num_scores, num_rows, lanes=8):
+    """Cycles in the softmax unit: one exp per kept score plus a two-pass
+    (max + normalise) touch per row, all retired ``lanes`` wide."""
+    if lanes <= 0:
+        raise ValueError("lanes must be positive")
+    return ceil((num_scores + 2 * num_rows) / lanes)

@@ -1,0 +1,110 @@
+"""Multi-head self-attention with the two ViTCoD hooks.
+
+The paper modifies vanilla MHSA (Eq. 1) in two ways:
+
+1. **Fixed sparse mask** — the split-and-conquer output ``m ⊙ A′`` is applied
+   as a per-head binary mask on the attention scores, fixed during both
+   finetuning and inference (§IV-B).
+2. **Auto-encoder module** — Q and K are passed through a head-dimension
+   encoder/decoder pair; the *reconstructed* Q′/K′ are what the attention
+   actually consumes, and the discrepancy feeds the reconstruction loss
+   (§IV-C, Eq. 2).
+
+Both hooks are optional so the same class serves the dense baseline, the
+pruned model, and the full ViTCoD pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.autograd import Tensor
+from ..nn.modules import Module, Linear
+
+__all__ = ["MultiHeadSelfAttention"]
+
+_NEG_INF = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """MHSA over (batch, tokens, dim) with optional fixed mask and AE hook.
+
+    Parameters
+    ----------
+    dim, num_heads:
+        Embedding width and head count; ``dim`` must divide evenly.
+    rng:
+        numpy Generator for weight init.
+    """
+
+    def __init__(self, dim, num_heads, rng=None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.qkv = Linear(dim, 3 * dim, rng=rng)
+        self.proj = Linear(dim, dim, rng=rng)
+        #: per-head binary mask of shape (heads, tokens, tokens); None = dense.
+        self.attention_mask = None
+        #: optional auto-encoder module with encode/decode over head dim.
+        self.autoencoder = None
+        #: set True to record attention probabilities during forward.
+        self.record_attention = False
+        self.last_attention = None
+        self.last_reconstruction_pairs = ()
+
+    def set_mask(self, mask):
+        """Install a fixed sparse attention mask.
+
+        ``mask`` may be (tokens, tokens) shared across heads or
+        (heads, tokens, tokens) per-head; entries are truthy where attention
+        is *kept*.
+        """
+        if mask is None:
+            self.attention_mask = None
+            return
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim == 2:
+            mask = np.broadcast_to(mask, (self.num_heads,) + mask.shape)
+        if mask.ndim != 3 or mask.shape[0] != self.num_heads:
+            raise ValueError(
+                f"mask must be (tokens, tokens) or ({self.num_heads}, tokens, tokens); "
+                f"got {mask.shape}"
+            )
+        if not mask.any(axis=-1).all():
+            raise ValueError("mask has a fully-pruned row; softmax would be undefined")
+        self.attention_mask = np.ascontiguousarray(mask)
+
+    def forward(self, x):
+        batch, tokens, _ = x.shape
+        qkv = self.qkv(x)  # (B, N, 3D)
+        qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, N, dk)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        self.last_reconstruction_pairs = ()
+        if self.autoencoder is not None:
+            q_rec = self.autoencoder(q)
+            k_rec = self.autoencoder(k)
+            self.last_reconstruction_pairs = ((q, q_rec), (k, k_rec))
+            q, k = q_rec, k_rec
+
+        scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (B, H, N, N)
+        if self.attention_mask is not None:
+            if self.attention_mask.shape[-1] != tokens:
+                raise ValueError(
+                    f"mask is for {self.attention_mask.shape[-1]} tokens, "
+                    f"input has {tokens}"
+                )
+            scores = scores.masked_fill(~self.attention_mask[None], _NEG_INF)
+        attn = scores.softmax(axis=-1)
+
+        if self.record_attention:
+            self.last_attention = attn.data.copy()
+
+        out = attn @ v  # (B, H, N, dk)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, tokens, self.dim)
+        return self.proj(out)

@@ -1,0 +1,486 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This is the neural-network substrate for the ViTCoD reproduction: the paper's
+algorithm pipeline (attention pruning, auto-encoder finetuning) runs in
+PyTorch; here we provide an equivalent, self-contained tape-based autograd
+engine so that every learnable component (ViT blocks, the AE module) is
+trained for real rather than mocked.
+
+Only the operations the ViT/AE models need are implemented, each with an
+explicit vector-Jacobian product.  Broadcasting follows numpy semantics; the
+gradient of a broadcast operand is reduced back to its original shape by
+:func:`_unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled():
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad, shape):
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_tensor(value):
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64), requires_grad=False)
+
+
+class Tensor:
+    """A numpy array with an optional gradient tape.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; stored as ``float64`` for numerical robustness of
+        the small-model training runs used throughout the reproduction.
+    requires_grad:
+        Whether gradients should flow into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # so np.ndarray.__mul__ defers to us
+
+    def __init__(self, data, requires_grad=False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad = None
+        self._backward = None
+        self._parents = ()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(*shape, requires_grad=False):
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape, requires_grad=False):
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, rng=None, scale=1.0, requires_grad=False):
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    def numpy(self):
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self):
+        return float(self.data.item())
+
+    def detach(self):
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self):
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad})"
+
+    def __len__(self):
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    def _make(self, data, parents, backward):
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad):
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad=None):
+        """Backpropagate from this tensor through the recorded tape."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order via iterative DFS.
+        order = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    def zero_grad(self):
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = _as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.data.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        return self + (-_as_tensor(other))
+
+    def __rsub__(self, other):
+        return _as_tensor(other) + (-self)
+
+    def __mul__(self, other):
+        other = _as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = _as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data**2), other.data.shape)
+                )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return _as_tensor(other) / self
+
+    def __pow__(self, exponent):
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = _as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                g = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(g, self.data.shape))
+            if other.requires_grad:
+                g = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(g, other.data.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self):
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self):
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self):
+        out_data = np.sqrt(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def abs(self):
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return self._make(np.abs(self.data), (self,), backward)
+
+    def relu(self):
+        mask = self.data > 0
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims=False):
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            full = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == full).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(mask * g)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        in_shape = self.data.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(in_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes):
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return self._make(self.data.transpose(axes), (self,), backward)
+
+    def swapaxes(self, a, b):
+        axes = list(range(self.data.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, key):
+        out_data = self.data[key]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, grad)
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    @staticmethod
+    def concat(tensors, axis=0):
+        tensors = [_as_tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad):
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    idx = [slice(None)] * grad.ndim
+                    idx[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(idx)])
+
+        out = Tensor(out_data)
+        if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
+            out.requires_grad = True
+            out._parents = tuple(tensors)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # NN-specific fused ops (numerically stable)
+    # ------------------------------------------------------------------
+    def softmax(self, axis=-1):
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad):
+            if self.requires_grad:
+                dot = (grad * out_data).sum(axis=axis, keepdims=True)
+                self._accumulate(out_data * (grad - dot))
+
+        return self._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis=-1):
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_z
+        soft = np.exp(out_data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+        return self._make(out_data, (self,), backward)
+
+    def gelu(self):
+        """Gaussian error linear unit (tanh approximation, as in ViT MLPs)."""
+        c = np.sqrt(2.0 / np.pi)
+        x = self.data
+        inner = c * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + t)
+
+        def backward(grad):
+            if self.requires_grad:
+                dinner = c * (1.0 + 3 * 0.044715 * x**2)
+                dt = (1.0 - t**2) * dinner
+                self._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * x * dt))
+
+        return self._make(out_data, (self,), backward)
+
+    def masked_fill(self, mask, value):
+        """Replace entries where ``mask`` is truthy with ``value`` (no grad there)."""
+        mask = np.asarray(mask, dtype=bool)
+        out_data = np.where(mask, value, self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(np.where(mask, 0.0, grad))
+
+        return self._make(out_data, (self,), backward)

@@ -1,0 +1,107 @@
+"""Pruning with fixed masks — the first half of Algorithm 1.
+
+For each query row of an averaged, normalised attention map, keep the
+highest-valued attention scores until their cumulative sum reaches the
+information-quantity threshold ``θp``, and prune the rest.  The result is a
+binary mask that stays **fixed** during finetuning and inference (§IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "prune_attention_map",
+    "mask_sparsity",
+    "threshold_for_sparsity",
+    "mask_for_sparsity",
+]
+
+
+def prune_attention_map(attention_map, theta_p, min_keep=1):
+    """Generate the fixed binary mask for one attention map.
+
+    Parameters
+    ----------
+    attention_map:
+        Array of shape (N, N) or (H, N, N); rows should be (approximately)
+        normalised attention probabilities.
+    theta_p:
+        Information-quantity threshold in (0, 1]: per row, the smallest set
+        of largest scores whose cumulative (renormalised) sum reaches
+        ``theta_p`` is kept.
+    min_keep:
+        Lower bound on kept entries per row (≥1 so softmax stays defined).
+
+    Returns
+    -------
+    ndarray of bool, same shape
+        True where attention is kept ("1" in the paper's mask).
+    """
+    attention_map = np.asarray(attention_map, dtype=np.float64)
+    if not 0.0 < theta_p <= 1.0:
+        raise ValueError(f"theta_p must be in (0, 1], got {theta_p}")
+    if min_keep < 1:
+        raise ValueError("min_keep must be >= 1")
+    if attention_map.ndim == 3:
+        return np.stack(
+            [prune_attention_map(a, theta_p, min_keep) for a in attention_map]
+        )
+    if attention_map.ndim != 2:
+        raise ValueError(f"expected 2-D or 3-D map, got shape {attention_map.shape}")
+
+    n = attention_map.shape[-1]
+    min_keep = min(min_keep, n)
+    # Renormalise rows so theta_p is a fraction of each row's total mass.
+    row_sums = attention_map.sum(axis=-1, keepdims=True)
+    row_sums = np.where(row_sums <= 0, 1.0, row_sums)
+    probs = attention_map / row_sums
+
+    order = np.argsort(-probs, axis=-1, kind="stable")  # descending
+    sorted_probs = np.take_along_axis(probs, order, axis=-1)
+    cumulative = np.cumsum(sorted_probs, axis=-1)
+    # Keep entries strictly before the cumulative sum first reaches theta_p,
+    # plus the entry that crosses it (Alg. 1 lines 2-5 accumulate then stop).
+    keep_counts = np.argmax(cumulative >= theta_p - 1e-12, axis=-1) + 1
+    # Rows whose total mass never reaches theta_p keep everything.
+    keep_counts = np.where(cumulative[:, -1] < theta_p - 1e-12, n, keep_counts)
+    keep_counts = np.maximum(keep_counts, min_keep)
+
+    ranks = np.empty_like(order)
+    np.put_along_axis(ranks, order, np.arange(n)[None, :], axis=-1)
+    return ranks < keep_counts[:, None]
+
+
+def mask_sparsity(mask):
+    """Fraction of pruned (zero) entries in a binary mask."""
+    mask = np.asarray(mask, dtype=bool)
+    return 1.0 - mask.mean()
+
+
+def threshold_for_sparsity(attention_map, target_sparsity, tol=5e-3, max_iter=60):
+    """Bisect ``θp`` so the pruned mask hits ``target_sparsity``.
+
+    The paper sweeps sparsity ratios {50…95}% (§VI-C); this inverts the
+    θp → sparsity map, which is monotone (larger θp keeps more entries).
+    """
+    if not 0.0 <= target_sparsity < 1.0:
+        raise ValueError(f"target_sparsity must be in [0, 1), got {target_sparsity}")
+    lo, hi = 1e-6, 1.0
+    best = hi
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        sparsity = mask_sparsity(prune_attention_map(attention_map, mid))
+        if abs(sparsity - target_sparsity) <= tol:
+            return mid
+        if sparsity > target_sparsity:
+            lo = mid  # too sparse → keep more mass
+        else:
+            hi = mid
+        best = mid
+    return best
+
+
+def mask_for_sparsity(attention_map, target_sparsity, tol=5e-3):
+    """Convenience: mask whose sparsity is close to ``target_sparsity``."""
+    theta_p = threshold_for_sparsity(attention_map, target_sparsity, tol=tol)
+    return prune_attention_map(attention_map, theta_p)

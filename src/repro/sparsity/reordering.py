@@ -1,0 +1,90 @@
+"""Attention-map reordering — the second half of Algorithm 1.
+
+Tokens whose mask *column* has more non-zeros than a threshold ``θd`` are
+**global tokens**: keys that (almost) every query attends to.  Reordering
+moves them to the front so each head's mask polarizes into a denser block of
+``Ngt`` leftmost columns plus a sparser (mostly diagonal) remainder — the two
+workload levels the accelerator's two engines consume (§IV-B, Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReorderResult", "find_global_tokens", "reorder_attention_map"]
+
+
+@dataclass(frozen=True)
+class ReorderResult:
+    """Output of the reordering step for one (H, N, N) or (N, N) mask."""
+
+    permutation: np.ndarray  # token order: new index -> old index
+    num_global_tokens: int
+
+
+def find_global_tokens(mask, theta_d):
+    """Boolean vector marking global-token columns (‖column‖₀ > θd).
+
+    ``theta_d`` may be an absolute count or, if < 1, a fraction of N.
+    For multi-head masks the column population is summed over heads, matching
+    the per-layer reordering the paper applies (one token order per layer).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim == 3:
+        column_nnz = mask.sum(axis=(0, 1))
+        n = mask.shape[-1]
+        threshold = theta_d * mask.shape[0] if theta_d >= 1 else theta_d * mask.shape[0] * n
+    elif mask.ndim == 2:
+        column_nnz = mask.sum(axis=0)
+        n = mask.shape[-1]
+        threshold = theta_d if theta_d >= 1 else theta_d * n
+    else:
+        raise ValueError(f"expected 2-D or 3-D mask, got shape {mask.shape}")
+    return column_nnz > threshold
+
+
+def reorder_attention_map(mask, theta_d, attention_map=None):
+    """Reorder tokens so global tokens come first (Alg. 1 lines 7-14).
+
+    Parameters
+    ----------
+    mask:
+        Binary mask, (N, N) or (H, N, N).
+    theta_d:
+        Dense threshold for global-token detection (count, or fraction of N).
+    attention_map:
+        Optional real-valued map permuted alongside the mask.
+
+    Returns
+    -------
+    (reordered_mask, ReorderResult) or
+    (reordered_mask, reordered_map, ReorderResult) when ``attention_map``
+    is given.  Both rows and columns are permuted — reordering re-indexes the
+    *tokens*, and the same order applies to queries and keys so the attention
+    semantics are preserved up to relabelling.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    is_global = find_global_tokens(mask, theta_d)
+    n = mask.shape[-1]
+    indices = np.arange(n)
+    # Stable partition: global tokens first, original order preserved within
+    # each group (the SWAP loop of Alg. 1 walks i left-to-right).
+    permutation = np.concatenate([indices[is_global], indices[~is_global]])
+    num_global = int(is_global.sum())
+
+    reordered_mask = _permute_tokens(mask, permutation)
+    result = ReorderResult(permutation=permutation, num_global_tokens=num_global)
+    if attention_map is None:
+        return reordered_mask, result
+    reordered_map = _permute_tokens(
+        np.asarray(attention_map, dtype=np.float64), permutation
+    )
+    return reordered_mask, reordered_map, result
+
+
+def _permute_tokens(array, permutation):
+    """Apply a token permutation to the trailing two (row, column) axes."""
+    out = np.take(array, permutation, axis=-2)
+    return np.take(out, permutation, axis=-1)

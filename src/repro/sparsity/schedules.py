@@ -1,0 +1,110 @@
+"""Structured sparse-attention patterns from the related work (§II).
+
+The paper positions its *learned, polarized* fixed masks against the
+hand-designed NLP patterns — BigBird (window + global + random), Longformer
+(window + task globals), BlockBERT (block sparsity), and strided patterns.
+These generators build those masks at any size so the ablation benches can
+compare how well each pattern class polarizes and how it performs on the
+ViTCoD accelerator versus on its intended substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "window_mask",
+    "global_mask",
+    "random_pattern_mask",
+    "bigbird_mask",
+    "longformer_mask",
+    "block_mask",
+    "strided_mask",
+    "pattern_zoo",
+]
+
+
+def window_mask(num_tokens, window=3):
+    """Sliding-window (local) attention: |i - j| <= window."""
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    idx = np.arange(num_tokens)
+    return np.abs(idx[:, None] - idx[None, :]) <= window
+
+
+def global_mask(num_tokens, global_tokens):
+    """Rows and columns of the given token indices fully attend/attended."""
+    mask = np.zeros((num_tokens, num_tokens), dtype=bool)
+    global_tokens = np.asarray(global_tokens, dtype=int)
+    mask[global_tokens, :] = True
+    mask[:, global_tokens] = True
+    return mask
+
+
+def random_pattern_mask(num_tokens, per_row=2, seed=0):
+    """BigBird's random component: ``per_row`` random keys per query."""
+    rng = np.random.default_rng(seed)
+    mask = np.zeros((num_tokens, num_tokens), dtype=bool)
+    for i in range(num_tokens):
+        cols = rng.choice(num_tokens, size=min(per_row, num_tokens),
+                          replace=False)
+        mask[i, cols] = True
+    return mask
+
+
+def bigbird_mask(num_tokens, window=3, num_globals=2, random_per_row=2,
+                 seed=0):
+    """BigBird: window + global + random, with the diagonal always kept."""
+    globals_ = np.arange(min(num_globals, num_tokens))
+    mask = (window_mask(num_tokens, window)
+            | global_mask(num_tokens, globals_)
+            | random_pattern_mask(num_tokens, random_per_row, seed))
+    np.fill_diagonal(mask, True)
+    return mask
+
+
+def longformer_mask(num_tokens, window=4, global_tokens=(0,)):
+    """Longformer: sliding window plus a few task-specific global tokens."""
+    mask = window_mask(num_tokens, window) | global_mask(
+        num_tokens, np.asarray(global_tokens, dtype=int)
+    )
+    np.fill_diagonal(mask, True)
+    return mask
+
+
+def block_mask(num_tokens, block_size=16):
+    """BlockBERT: attention restricted to diagonal blocks."""
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    idx = np.arange(num_tokens) // block_size
+    return idx[:, None] == idx[None, :]
+
+
+def strided_mask(num_tokens, stride=4, window=1):
+    """Strided pattern: local window plus every ``stride``-th key."""
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    idx = np.arange(num_tokens)
+    strided = (idx[None, :] % stride) == 0
+    mask = window_mask(num_tokens, window) | np.broadcast_to(
+        strided, (num_tokens, num_tokens)
+    ).copy()
+    np.fill_diagonal(mask, True)
+    return mask
+
+
+def pattern_zoo(num_tokens, seed=0):
+    """All related-work patterns at comparable (~90 %) sparsity."""
+    n = num_tokens
+    return {
+        "window": window_mask(n, window=max(1, n // 40)),
+        "bigbird": bigbird_mask(n, window=max(1, n // 60),
+                                num_globals=max(1, n // 60),
+                                random_per_row=2, seed=seed),
+        "longformer": longformer_mask(
+            n, window=max(1, n // 50),
+            global_tokens=tuple(range(max(1, n // 100)))),
+        "block": block_mask(n, block_size=max(2, n // 10)),
+        "strided": strided_mask(n, stride=max(2, n // 16),
+                                window=max(1, n // 80)),
+    }

@@ -1,0 +1,43 @@
+"""Shared fixtures: small trained models and paper-scale workloads.
+
+Training fixtures are session-scoped (one training run shared by the whole
+suite) and deliberately tiny — the algorithm under test operates on attention
+maps whose structure is scale-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import pretrained
+from repro.hw import synthetic_attention_workload
+from repro.sparsity import synthetic_vit_attention, split_and_conquer
+
+FAST_DATASET = dict(num_samples=192, num_classes=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_vit():
+    """A trained deit-tiny sim-scale model (shared across the suite)."""
+    return pretrained("deit-tiny", epochs=3, dataset_kwargs=FAST_DATASET)
+
+
+@pytest.fixture(scope="session")
+def tiny_levit():
+    return pretrained("levit-128", epochs=3, dataset_kwargs=FAST_DATASET)
+
+
+@pytest.fixture(scope="session")
+def paper_scale_result():
+    """Split-and-conquer at paper scale (197 tokens, 12 heads, 90%)."""
+    maps = synthetic_vit_attention(197, num_heads=12, seed=7)
+    return split_and_conquer(maps, target_sparsity=0.9, theta_d=0.25)
+
+
+@pytest.fixture(scope="session")
+def paper_scale_workload():
+    return synthetic_attention_workload(197, 12, 64, sparsity=0.9, seed=7)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

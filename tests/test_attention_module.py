@@ -1,0 +1,114 @@
+"""Tests for MultiHeadSelfAttention and its ViTCoD hooks."""
+
+import numpy as np
+import pytest
+
+from repro.autoencoder import HeadAutoEncoder
+from repro.models import MultiHeadSelfAttention
+from repro.nn import Tensor
+
+
+@pytest.fixture()
+def mhsa(rng):
+    return MultiHeadSelfAttention(dim=16, num_heads=4, rng=rng)
+
+
+class TestShapes:
+    def test_output_shape(self, mhsa, rng):
+        out = mhsa(Tensor(rng.standard_normal((2, 7, 16))))
+        assert out.shape == (2, 7, 16)
+
+    def test_indivisible_heads_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(dim=10, num_heads=3)
+
+    def test_head_dim(self, mhsa):
+        assert mhsa.head_dim == 4
+        assert mhsa.scale == pytest.approx(0.5)
+
+
+class TestRecording:
+    def test_records_attention_when_enabled(self, mhsa, rng):
+        mhsa.record_attention = True
+        mhsa(Tensor(rng.standard_normal((3, 5, 16))))
+        assert mhsa.last_attention.shape == (3, 4, 5, 5)
+        # Rows are probability distributions.
+        np.testing.assert_allclose(
+            mhsa.last_attention.sum(axis=-1), 1.0, atol=1e-10
+        )
+
+    def test_no_recording_by_default(self, mhsa, rng):
+        mhsa(Tensor(rng.standard_normal((1, 5, 16))))
+        assert mhsa.last_attention is None
+
+
+class TestMasking:
+    def test_shared_mask_broadcasts(self, mhsa, rng):
+        mask = np.eye(5, dtype=bool)
+        mhsa.set_mask(mask)
+        assert mhsa.attention_mask.shape == (4, 5, 5)
+
+    def test_masked_positions_get_zero_attention(self, mhsa, rng):
+        mask = np.eye(6, dtype=bool)
+        mask[:, 0] = True  # keep a global column so rows stay valid
+        mhsa.set_mask(mask)
+        mhsa.record_attention = True
+        mhsa(Tensor(rng.standard_normal((2, 6, 16))))
+        attn = mhsa.last_attention
+        pruned = ~np.broadcast_to(mask, (4, 6, 6))
+        assert np.all(attn[:, pruned] < 1e-8)
+
+    def test_fully_pruned_row_rejected(self, mhsa):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[0, 0] = True
+        with pytest.raises(ValueError):
+            mhsa.set_mask(mask)
+
+    def test_wrong_head_count_rejected(self, mhsa):
+        with pytest.raises(ValueError):
+            mhsa.set_mask(np.ones((3, 5, 5), dtype=bool))
+
+    def test_mask_token_mismatch_raises_at_forward(self, mhsa, rng):
+        mhsa.set_mask(np.ones((5, 5), dtype=bool))
+        with pytest.raises(ValueError):
+            mhsa(Tensor(rng.standard_normal((1, 7, 16))))
+
+    def test_clear_mask(self, mhsa):
+        mhsa.set_mask(np.ones((5, 5), dtype=bool))
+        mhsa.set_mask(None)
+        assert mhsa.attention_mask is None
+
+    def test_dense_mask_equals_no_mask(self, mhsa, rng):
+        x = Tensor(rng.standard_normal((1, 5, 16)))
+        out_dense = mhsa(x).data.copy()
+        mhsa.set_mask(np.ones((5, 5), dtype=bool))
+        out_masked = mhsa(x).data
+        np.testing.assert_allclose(out_dense, out_masked, atol=1e-12)
+
+
+class TestAutoencoderHook:
+    def test_reconstruction_pairs_recorded(self, mhsa, rng):
+        mhsa.autoencoder = HeadAutoEncoder(4, compression=0.5, rng=rng)
+        mhsa(Tensor(rng.standard_normal((2, 5, 16))))
+        pairs = mhsa.last_reconstruction_pairs
+        assert len(pairs) == 2  # Q and K
+        for original, recon in pairs:
+            assert original.shape == recon.shape == (2, 4, 5, 4)
+
+    def test_no_pairs_without_ae(self, mhsa, rng):
+        mhsa(Tensor(rng.standard_normal((1, 5, 16))))
+        assert mhsa.last_reconstruction_pairs == ()
+
+    def test_ae_changes_output(self, mhsa, rng):
+        x = Tensor(rng.standard_normal((1, 5, 16)))
+        base = mhsa(x).data.copy()
+        mhsa.autoencoder = HeadAutoEncoder(4, compression=0.25, rng=rng)
+        out = mhsa(x).data
+        assert not np.allclose(base, out)
+
+    def test_gradients_flow_into_ae(self, mhsa, rng):
+        mhsa.autoencoder = HeadAutoEncoder(4, compression=0.5, rng=rng)
+        out = mhsa(Tensor(rng.standard_normal((1, 5, 16))))
+        (out * out).sum().backward()
+        assert mhsa.autoencoder.enc_weight.grad is not None
+        assert mhsa.autoencoder.dec_weight.grad is not None

@@ -1,0 +1,105 @@
+"""Tests for the design-space exploration utilities."""
+
+import pytest
+
+from repro.harness.dse import (
+    DesignPoint,
+    pareto_frontier,
+    sensitivity,
+    sweep_design_space,
+)
+from repro.hw import model_workload
+from repro.models import get_config
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return model_workload(get_config("deit-tiny"), sparsity=0.9)
+
+
+class TestSweep:
+    def test_grid_cross_product(self, small_workload):
+        points = sweep_design_space(
+            small_workload,
+            {"mac_lines": [32, 64], "ae_compression": [None, 0.5]},
+        )
+        assert len(points) == 4
+        params = {p.parameters for p in points}
+        assert len(params) == 4
+
+    def test_more_macs_never_slower(self, small_workload):
+        points = sweep_design_space(small_workload,
+                                    {"mac_lines": [16, 64, 256]})
+        seconds = [p.seconds for p in points]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_more_bandwidth_never_slower(self, small_workload):
+        points = sweep_design_space(small_workload,
+                                    {"bandwidth_gbps": [19.2, 76.8, 307.2]})
+        seconds = [p.seconds for p in points]
+        assert seconds[0] >= seconds[1] >= seconds[2]
+
+    def test_buffer_size_helps_big_models(self):
+        wl = model_workload(get_config("deit-base"), sparsity=0.9)
+        points = sweep_design_space(wl, {"act_buffer_kb": [32, 128, 512]})
+        seconds = [p.seconds for p in points]
+        # Bigger act buffer -> fewer Q re-streams -> never slower.
+        assert seconds[0] >= seconds[1] >= seconds[2]
+
+    def test_unknown_parameter(self, small_workload):
+        with pytest.raises(KeyError):
+            sweep_design_space(small_workload, {"voltage": [0.9]})
+
+    def test_empty_grid(self, small_workload):
+        with pytest.raises(ValueError):
+            sweep_design_space(small_workload, {})
+
+    def test_area_proxy_tracks_macs(self, small_workload):
+        points = sweep_design_space(small_workload, {"mac_lines": [32, 64]})
+        assert points[0].area_proxy == 32 * 8
+        assert points[1].area_proxy == 64 * 8
+
+
+class TestPareto:
+    def test_dominated_points_removed(self):
+        a = DesignPoint((("x", 1),), seconds=1.0, energy_joules=1.0,
+                        area_proxy=1)
+        b = DesignPoint((("x", 2),), seconds=2.0, energy_joules=2.0,
+                        area_proxy=1)  # dominated by a
+        c = DesignPoint((("x", 3),), seconds=0.5, energy_joules=3.0,
+                        area_proxy=1)  # trade-off
+        frontier = pareto_frontier([a, b, c])
+        assert a in frontier and c in frontier and b not in frontier
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_all_identical_kept(self):
+        p = DesignPoint((), 1.0, 1.0, 1)
+        assert len(pareto_frontier([p, p, p])) == 3
+
+    def test_frontier_on_real_sweep(self, small_workload):
+        points = sweep_design_space(
+            small_workload,
+            {"mac_lines": [16, 64, 256], "ae_compression": [None, 0.5]},
+        )
+        frontier = pareto_frontier(points)
+        assert 1 <= len(frontier) <= len(points)
+        # The fastest point always survives.
+        fastest = min(points, key=lambda p: p.seconds)
+        assert fastest in frontier
+
+
+class TestSensitivity:
+    def test_rows_carry_parameter(self, small_workload):
+        rows = sensitivity(small_workload, "mac_lines", [32, 64])
+        assert [r["mac_lines"] for r in rows] == [32, 64]
+        assert all(r["seconds"] > 0 and r["edp"] > 0 for r in rows)
+
+    def test_ae_compression_sweep(self):
+        wl = model_workload(get_config("deit-base"), sparsity=0.9)
+        rows = sensitivity(wl, "ae_compression", [None, 0.75, 0.5, 0.25])
+        # Stronger compression never increases latency for this
+        # memory-pressured model.
+        seconds = [r["seconds"] for r in rows]
+        assert seconds[0] >= seconds[-1]

@@ -1,0 +1,178 @@
+"""Tests for sparse storage formats and tiling (repro.formats)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formats import (
+    CSCMatrix,
+    CSRMatrix,
+    COOMatrix,
+    TileGrid,
+    fits_in_buffer,
+    index_bytes,
+    tile_1d,
+    tiles_for_matmul,
+)
+from repro.sparsity import random_mask
+
+
+def sample_mask(n=16, density=0.2, seed=0):
+    return random_mask(n, density, seed=seed)[0]
+
+
+class TestCSC:
+    def test_roundtrip(self):
+        dense = sample_mask()
+        np.testing.assert_array_equal(
+            CSCMatrix.from_dense(dense).to_dense(), dense
+        )
+
+    def test_nnz(self):
+        dense = sample_mask(seed=1)
+        assert CSCMatrix.from_dense(dense).nnz == dense.sum()
+
+    def test_column_access(self):
+        dense = np.zeros((5, 4), dtype=bool)
+        dense[1, 2] = dense[3, 2] = True
+        csc = CSCMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csc.column(2), [1, 3])
+        assert len(csc.column(0)) == 0
+
+    def test_column_nnz(self):
+        dense = sample_mask(seed=2)
+        csc = CSCMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csc.column_nnz(), dense.sum(axis=0))
+
+    def test_column_order_sorted(self):
+        dense = sample_mask(seed=3)
+        csc = CSCMatrix.from_dense(dense)
+        for j in range(dense.shape[1]):
+            col = csc.column(j)
+            assert (np.diff(col) > 0).all() if len(col) > 1 else True
+
+    def test_index_bytes_wider_rows(self):
+        small = CSCMatrix.from_dense(np.ones((100, 4), dtype=bool))
+        large = CSCMatrix.from_dense(np.ones((300, 4), dtype=bool))
+        # 300 rows need 2-byte row indices.
+        assert large.index_bytes() > 2 * small.index_bytes()
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            CSCMatrix.from_dense(np.zeros((2, 2, 2)))
+
+
+class TestCSR:
+    def test_roundtrip(self):
+        dense = sample_mask(seed=4)
+        np.testing.assert_array_equal(
+            CSRMatrix.from_dense(dense).to_dense(), dense
+        )
+
+    def test_row_access(self):
+        dense = np.zeros((4, 5), dtype=bool)
+        dense[2, 1] = dense[2, 4] = True
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(csr.row(2), [1, 4])
+
+    def test_row_nnz(self):
+        dense = sample_mask(seed=5)
+        np.testing.assert_array_equal(
+            CSRMatrix.from_dense(dense).row_nnz(), dense.sum(axis=1)
+        )
+
+    def test_csr_csc_transpose_duality(self):
+        dense = sample_mask(seed=6)
+        csr = CSRMatrix.from_dense(dense)
+        csc = CSCMatrix.from_dense(dense.T)
+        np.testing.assert_array_equal(csr.to_dense(), csc.to_dense().T)
+
+
+class TestCOO:
+    def test_roundtrip(self):
+        dense = sample_mask(seed=7)
+        np.testing.assert_array_equal(
+            COOMatrix.from_dense(dense).to_dense(), dense
+        )
+
+    def test_nnz(self):
+        dense = sample_mask(seed=8)
+        assert COOMatrix.from_dense(dense).nnz == dense.sum()
+
+    def test_coo_costs_more_than_csc_on_vit_masks(self):
+        # The paper picks CSC over COO (§V-B.1); for our diagonal-ish masks
+        # with enough non-zeros per column, CSC's pointer array amortises.
+        from repro.sparsity import synthetic_vit_attention, split_and_conquer
+        maps = synthetic_vit_attention(197, num_heads=1, seed=0)
+        res = split_and_conquer(maps, target_sparsity=0.9)
+        sparser = res.partitions[0].sparser_mask
+        assert index_bytes(sparser, "csc") < index_bytes(sparser, "coo")
+
+
+class TestIndexBytesHelper:
+    def test_all_formats(self):
+        dense = sample_mask(seed=9)
+        for fmt in ("csc", "csr", "coo"):
+            assert index_bytes(dense, fmt) > 0
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            index_bytes(sample_mask(), "ellpack")
+
+
+class TestHypothesisRoundtrip:
+    @given(
+        rows=st.integers(min_value=1, max_value=20),
+        cols=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=1000),
+        density=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_all_formats_roundtrip(self, rows, cols, seed, density):
+        rng = np.random.default_rng(seed)
+        dense = rng.random((rows, cols)) < density
+        for cls in (CSCMatrix, CSRMatrix, COOMatrix):
+            sparse = cls.from_dense(dense)
+            np.testing.assert_array_equal(sparse.to_dense(), dense)
+            assert sparse.nnz == dense.sum()
+
+
+class TestTiling:
+    def test_exact_division(self):
+        grid = tile_1d(12, 4)
+        assert grid.count == 3
+        assert grid.sizes() == [4, 4, 4]
+
+    def test_remainder(self):
+        grid = tile_1d(10, 4)
+        assert grid.count == 3
+        assert grid.sizes() == [4, 4, 2]
+        assert grid.last_tile == 2
+
+    def test_empty(self):
+        grid = tile_1d(0, 4)
+        assert grid.count == 0
+        assert grid.sizes() == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TileGrid(total=4, tile=0)
+        with pytest.raises(ValueError):
+            TileGrid(total=-1, tile=2)
+
+    def test_tiles_for_matmul(self):
+        assert tiles_for_matmul(8, 8, 8, 4, 4, 4) == 8
+
+    def test_fits_in_buffer(self):
+        assert fits_in_buffer(100, 2, 200)
+        assert not fits_in_buffer(101, 2, 200)
+
+    @given(
+        total=st.integers(min_value=0, max_value=10_000),
+        tile=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sizes_sum_to_total(self, total, tile):
+        grid = tile_1d(total, tile)
+        assert sum(grid.sizes()) == total
+        assert all(0 < s <= tile for s in grid.sizes())

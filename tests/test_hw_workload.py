@@ -1,0 +1,162 @@
+"""Tests for workload construction (repro.hw.workload) and hardware params."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    VITCOD_DEFAULT,
+    AttentionWorkload,
+    GemmWorkload,
+    HardwareConfig,
+    HeadWorkload,
+    attention_workload_from_masks,
+    dense_attention_workload,
+    model_workload,
+    synthetic_attention_workload,
+)
+from repro.models import get_config
+from repro.sparsity import split_and_conquer, synthetic_vit_attention
+
+
+class TestHardwareConfig:
+    def test_paper_design_point(self):
+        cfg = VITCOD_DEFAULT
+        assert cfg.total_macs == 512
+        assert cfg.peak_gops == pytest.approx(256.0)  # Fig. 3 compute roof
+        assert cfg.bytes_per_cycle == pytest.approx(153.6)
+        # 320 KB SRAM total: 128 + 20 + 108 + 64.
+        total_kb = (cfg.act_buffer_bytes + cfg.index_buffer_bytes
+                    + cfg.output_buffer_bytes + cfg.weight_buffer_bytes) / 1024
+        assert total_kb == 320
+
+    def test_cycles_to_seconds(self):
+        assert VITCOD_DEFAULT.cycles_to_seconds(500e6) == pytest.approx(1.0)
+
+    def test_scaled(self):
+        big = VITCOD_DEFAULT.scaled(4)
+        assert big.total_macs == 4 * 512
+        assert big.bytes_per_cycle == pytest.approx(4 * 153.6)
+        assert "x4" in big.name
+
+
+class TestHeadWorkload:
+    def make(self, **kw):
+        defaults = dict(num_tokens=100, head_dim=64, num_global_tokens=10,
+                        denser_nnz=1000, sparser_nnz=400,
+                        sparser_index_bytes=800, sparser_locality=0.8)
+        defaults.update(kw)
+        return HeadWorkload(**defaults)
+
+    def test_macs(self):
+        h = self.make()
+        assert h.denser_macs == 10 * 100 * 64
+        assert h.sparser_macs == 400 * 64
+        assert h.spmm_macs == 1400 * 64
+
+    def test_sparsity(self):
+        h = self.make()
+        assert h.sparsity == pytest.approx(1 - 1400 / 10000)
+
+
+class TestWorkloadFromMasks:
+    def test_consistency_with_partitions(self, paper_scale_result):
+        wl = attention_workload_from_masks(paper_scale_result, head_dim=64)
+        assert wl.num_heads == 12 and wl.num_tokens == 197
+        for head, part in zip(wl.heads, paper_scale_result.partitions):
+            assert head.denser_nnz == part.denser_nnz
+            assert head.sparser_nnz == part.sparser_nnz
+            assert head.num_global_tokens == part.num_global_tokens
+            assert 0.0 <= head.sparser_locality <= 1.0
+
+    def test_sparsity_matches(self, paper_scale_result):
+        wl = attention_workload_from_masks(paper_scale_result, head_dim=64)
+        assert wl.sparsity == pytest.approx(paper_scale_result.sparsity)
+
+    def test_unreordered_mode(self, paper_scale_result):
+        wl = attention_workload_from_masks(paper_scale_result, head_dim=64,
+                                           reordered=False)
+        assert all(h.num_global_tokens == 0 for h in wl.heads)
+        assert all(h.denser_nnz == 0 for h in wl.heads)
+        # All non-zeros land in the sparser workload.
+        total = sum(int(m.sum()) for m in paper_scale_result.mask)
+        assert sum(h.sparser_nnz for h in wl.heads) == total
+
+    def test_unreordered_less_local(self, paper_scale_result):
+        reordered = attention_workload_from_masks(paper_scale_result, 64)
+        raw = attention_workload_from_masks(paper_scale_result, 64,
+                                            reordered=False)
+        # Without the global-column extraction, global columns pollute the
+        # band: scattered non-zeros increase.
+        assert raw.scattered_nnz > reordered.scattered_nnz
+
+    def test_coo_index_format(self, paper_scale_result):
+        csc = attention_workload_from_masks(paper_scale_result, 64,
+                                            index_format="csc")
+        coo = attention_workload_from_masks(paper_scale_result, 64,
+                                            index_format="coo")
+        assert coo.index_bytes() > csc.index_bytes()
+
+    def test_unknown_format(self, paper_scale_result):
+        with pytest.raises(ValueError):
+            attention_workload_from_masks(paper_scale_result, 64,
+                                          index_format="bsr")
+
+
+class TestSyntheticAndDense:
+    def test_synthetic_sparsity(self):
+        wl = synthetic_attention_workload(96, 4, 32, sparsity=0.85, seed=0)
+        assert abs(wl.sparsity - 0.85) < 0.03
+
+    def test_dense_workload(self):
+        wl = dense_attention_workload(96, 4, 32)
+        assert wl.sparsity == 0.0
+        assert wl.scattered_nnz == 0
+        assert wl.sddmm_macs == wl.dense_sddmm_macs
+
+    def test_sparsity_none_gives_dense(self):
+        wl = synthetic_attention_workload(48, 2, 16, sparsity=None)
+        assert wl.sparsity == 0.0
+
+    def test_denser_fraction_bounds(self):
+        wl = synthetic_attention_workload(96, 4, 32, sparsity=0.9, seed=1)
+        assert 0.0 < wl.denser_fraction < 1.0
+
+    def test_byte_helpers(self):
+        wl = dense_attention_workload(10, 2, 8)
+        assert wl.qk_bytes(2) == 2 * 10 * 16 * 2
+        assert wl.v_bytes(2) == 10 * 16 * 2
+
+
+class TestGemmWorkload:
+    def test_macs_and_bytes(self):
+        g = GemmWorkload("fc", m=10, k=20, n=30)
+        assert g.macs == 6000
+        assert g.weight_bytes(2) == 20 * 30 * 2
+        assert g.io_bytes(2) == (200 + 300) * 2
+
+
+class TestModelWorkload:
+    def test_deit_base_structure(self):
+        wl = model_workload(get_config("deit-base"), sparsity=0.9)
+        assert len(wl.attention_layers) == 12
+        assert len(wl.linear_layers) == 48  # qkv, proj, fc1, fc2 per layer
+        assert wl.name == "deit-base"
+        assert abs(wl.mean_sparsity - 0.9) < 0.03
+
+    def test_levit_multistage_shapes(self):
+        wl = model_workload(get_config("levit-128"), sparsity=0.8)
+        tokens = [l.num_tokens for l in wl.attention_layers]
+        assert tokens[:4] == [196] * 4
+        assert tokens[4:8] == [49] * 4
+        assert tokens[8:] == [16] * 4
+
+    def test_layers_vary_by_seed(self):
+        wl = model_workload(get_config("deit-tiny"), sparsity=0.9)
+        ngts = [tuple(h.num_global_tokens for h in l.heads)
+                for l in wl.attention_layers]
+        assert len(set(ngts)) > 1  # per-layer variation (Fig. 8)
+
+    def test_mlp_ratio_respected(self):
+        wl = model_workload(get_config("levit-128"), sparsity=0.9)
+        fc1 = next(g for g in wl.linear_layers if g.name.endswith("fc1"))
+        assert fc1.n == 2 * fc1.k  # LeViT mlp_ratio = 2

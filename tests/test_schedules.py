@@ -1,0 +1,119 @@
+"""Tests for the related-work sparse-pattern library (sparsity.schedules)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparsity import metrics, reorder_attention_map
+from repro.sparsity.schedules import (
+    bigbird_mask,
+    block_mask,
+    global_mask,
+    longformer_mask,
+    pattern_zoo,
+    random_pattern_mask,
+    strided_mask,
+    window_mask,
+)
+
+
+class TestIndividualPatterns:
+    def test_window_symmetry(self):
+        mask = window_mask(20, window=2)
+        np.testing.assert_array_equal(mask, mask.T)
+        assert mask[0, 2] and not mask[0, 3]
+
+    def test_window_zero_is_diagonal(self):
+        mask = window_mask(10, window=0)
+        np.testing.assert_array_equal(mask, np.eye(10, dtype=bool))
+
+    def test_window_negative_raises(self):
+        with pytest.raises(ValueError):
+            window_mask(10, window=-1)
+
+    def test_global_rows_and_cols(self):
+        mask = global_mask(12, [3])
+        assert mask[3].all() and mask[:, 3].all()
+        assert mask.sum() == 12 + 12 - 1
+
+    def test_random_per_row(self):
+        mask = random_pattern_mask(30, per_row=3, seed=1)
+        assert (mask.sum(axis=1) == 3).all()
+
+    def test_bigbird_contains_components(self):
+        mask = bigbird_mask(40, window=2, num_globals=2, random_per_row=1)
+        assert (mask & window_mask(40, 2)).sum() == window_mask(40, 2).sum()
+        assert mask[:, 0].all()  # global column
+        assert np.diag(mask).all()
+
+    def test_longformer_globals(self):
+        mask = longformer_mask(30, window=1, global_tokens=(5,))
+        assert mask[5].all() and mask[:, 5].all()
+
+    def test_block_mask_blocks(self):
+        mask = block_mask(12, block_size=4)
+        assert mask[:4, :4].all()
+        assert not mask[:4, 4:].any()
+
+    def test_block_invalid(self):
+        with pytest.raises(ValueError):
+            block_mask(8, block_size=0)
+
+    def test_strided_pattern(self):
+        mask = strided_mask(16, stride=4, window=0)
+        assert mask[:, 0].all() and mask[:, 4].all()
+        assert np.diag(mask).all()
+
+    def test_strided_invalid(self):
+        with pytest.raises(ValueError):
+            strided_mask(8, stride=0)
+
+
+class TestPatternZoo:
+    def test_all_patterns_high_sparsity(self):
+        zoo = pattern_zoo(197, seed=0)
+        assert set(zoo) == {"window", "bigbird", "longformer", "block",
+                            "strided"}
+        for name, mask in zoo.items():
+            assert metrics.sparsity(mask) > 0.6, name
+            # No empty rows (softmax-safe).
+            assert mask.any(axis=-1).all(), name
+
+    def test_learned_masks_have_global_tokens_hand_patterns_dont(
+            self, paper_scale_result):
+        """The paper's point: learned ViT masks contain genuine global-token
+        columns that reordering can extract into a dense engine-friendly
+        block; purely-local hand patterns (window/block) have none, leaving
+        only the worst-case diagonal workload (Fig. 2 discussion)."""
+        ours = int(paper_scale_result.num_global_tokens.sum())
+        assert ours >= 12  # at least ~1 per head at 197 tokens
+        zoo = pattern_zoo(197, seed=0)
+        for name in ("window", "block"):
+            _, info = reorder_attention_map(zoo[name], theta_d=0.5)
+            assert info.num_global_tokens == 0, name
+        # And the learned masks' diagonal remainder is sparser than the
+        # hand patterns' overall density at matched ~90% sparsity.
+        sparser_density = float(np.mean(
+            [p.sparser_density for p in paper_scale_result.partitions]
+        ))
+        assert sparser_density < metrics.density(zoo["window"]) + 0.1
+
+    def test_bigbird_reorders_like_vit(self):
+        """BigBird's explicit global tokens DO polarize under Algorithm 1's
+        reordering — the mechanism is pattern-agnostic."""
+        mask = bigbird_mask(96, window=2, num_globals=4, random_per_row=1)
+        reordered, info = reorder_attention_map(mask, theta_d=0.5)
+        assert info.num_global_tokens >= 4
+        front = reordered[:, : info.num_global_tokens]
+        assert front.mean() > 0.9
+
+    @given(
+        n=st.integers(min_value=4, max_value=64),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_zoo_masks_are_valid(self, n, seed):
+        for name, mask in pattern_zoo(n, seed=seed).items():
+            assert mask.shape == (n, n)
+            assert mask.dtype == bool
+            assert mask.any(axis=-1).all(), name
