@@ -1,11 +1,32 @@
-"""Shared benchmark fixtures: memoised paper-scale workloads."""
+"""Shared benchmark fixtures: memoised workloads + the perf harness.
+
+Two things live here:
+
+* ``workload_cache`` — the historical fixture name, now backed by the
+  process-wide :mod:`repro.perf` cache so benchmarks, experiment runners
+  and DSE sweeps all share one set of constructed workloads;
+* the ``benchmarks/perf`` microbenchmark harness: ``--bench-out PATH``
+  switches the perf benchmarks from *smoke* mode (small shapes, no
+  wall-clock assertions — what plain ``pytest`` runs) to *full* mode
+  (paper-scale shapes, speedup assertions) and writes the machine-readable
+  ``BENCH_perf.json`` trajectory to PATH at the end of the session.
+"""
+
+import json
+import platform
+import time
 
 import pytest
 
-from repro.hw import model_workload
-from repro.models import get_config
+from repro.perf import cached_model_workload
 
-_CACHE = {}
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-out", action="store", default=None, metavar="PATH",
+        help="run the perf microbenchmarks at full scale and write the "
+             "machine-readable results JSON (e.g. BENCH_perf.json) to PATH",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -13,13 +34,52 @@ def workload_cache():
     """Callable returning memoised ModelWorkloads: (model, sparsity) -> WL."""
 
     def get(model, sparsity, **kwargs):
-        key = (model, sparsity, tuple(sorted(kwargs.items())))
-        if key not in _CACHE:
-            _CACHE[key] = model_workload(get_config(model), sparsity=sparsity,
-                                         **kwargs)
-        return _CACHE[key]
+        return cached_model_workload(model, sparsity=sparsity, **kwargs)
 
     return get
+
+
+@pytest.fixture(scope="session")
+def bench_out(request):
+    """Path of the requested benchmark JSON, or None for smoke mode."""
+    return request.config.getoption("bench_out", default=None)
+
+
+@pytest.fixture(scope="session")
+def bench_mode(bench_out):
+    """'full' (paper-scale shapes, wall-clock assertions) or 'smoke'."""
+    return "full" if bench_out else "smoke"
+
+
+class BenchRecorder:
+    """Collects one dict per microbenchmark for ``BENCH_perf.json``."""
+
+    def __init__(self, mode):
+        self.mode = mode
+        self.entries = []
+
+    def record(self, name, **fields):
+        entry = {"name": name, **fields}
+        self.entries.append(entry)
+        return entry
+
+
+@pytest.fixture(scope="session")
+def bench_recorder(bench_out, bench_mode):
+    recorder = BenchRecorder(bench_mode)
+    yield recorder
+    if bench_out and recorder.entries:
+        payload = {
+            "schema": "repro-bench/1",
+            "mode": recorder.mode,
+            "created_unix": time.time(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "benchmarks": recorder.entries,
+        }
+        with open(bench_out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
 
 
 def print_paper_vs_measured(title, rows):

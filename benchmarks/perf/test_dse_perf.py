@@ -1,0 +1,83 @@
+"""Workload-construction and DSE-sweep microbenchmarks.
+
+The DSE benchmark measures the end-to-end cost a sweep actually pays:
+cold = rebuild the workload from masks, then evaluate the grid serially;
+warm = cached workload + ``n_jobs`` worker fan-out.  Workload construction
+dominates, which is exactly why :mod:`repro.perf` memoises it.
+"""
+
+from repro.harness.dse import pareto_frontier, sweep_design_space
+from repro.hw import model_workload
+from repro.models import get_config
+from repro.perf import KeyedCache, benchit, cached_model_workload
+
+
+def test_workload_build_cache(bench_recorder, bench_mode):
+    """Cold split-and-conquer construction vs a cache hit."""
+    full = bench_mode == "full"
+    model = "deit-base" if full else "deit-tiny"
+    cfg = get_config(model)
+    cache = KeyedCache()
+    cold = benchit(lambda: model_workload(cfg, sparsity=0.9),
+                   name="cold_build", repeats=3 if full else 1, warmup=0)
+    cached_model_workload(model, sparsity=0.9, cache=cache)  # prime
+    warm = benchit(lambda: cached_model_workload(model, sparsity=0.9,
+                                                 cache=cache),
+                   name="cache_hit", repeats=5, warmup=1)
+    speedup = cold.best / warm.best
+    bench_recorder.record(
+        "workload_build",
+        model=model,
+        cold=cold.to_dict(),
+        cached=warm.to_dict(),
+        speedup_cached=speedup,
+    )
+    if full:
+        assert speedup >= 10.0, f"cache hit only {speedup:.1f}x faster"
+
+
+def test_dse_sweep_cached_parallel(bench_recorder, bench_mode):
+    """Full sweep cost: cold build + serial grid vs cached + parallel grid."""
+    full = bench_mode == "full"
+    model = "deit-base" if full else "deit-tiny"
+    cfg = get_config(model)
+    if full:
+        grid = {"mac_lines": [16, 32, 64, 128, 256, 512],
+                "bandwidth_gbps": [19.2, 38.4, 76.8, 153.6],
+                "ae_compression": [None, 0.5]}
+    else:
+        grid = {"mac_lines": [32, 64], "ae_compression": [None, 0.5]}
+    n_jobs = 4 if full else 2
+
+    def cold_sweep():
+        wl = model_workload(cfg, sparsity=0.9)
+        return sweep_design_space(wl, grid)
+
+    def warm_sweep():
+        wl = cached_model_workload(model, sparsity=0.9)
+        return sweep_design_space(wl, grid, n_jobs=n_jobs)
+
+    cold = benchit(cold_sweep, name="cold_serial",
+                   repeats=3 if full else 1, warmup=0)
+    cached_model_workload(model, sparsity=0.9)  # prime the shared cache
+    warm = benchit(warm_sweep, name="cached_parallel",
+                   repeats=5 if full else 1, warmup=1)
+    # Parallel + cached must not change the answer.
+    points_cold = cold_sweep()
+    points_warm = warm_sweep()
+    assert points_warm == points_cold
+
+    speedup = cold.best / warm.best
+    frontier = pareto_frontier(points_warm)
+    bench_recorder.record(
+        "dse_sweep",
+        model=model,
+        grid_points=len(points_warm),
+        n_jobs=n_jobs,
+        frontier_size=len(frontier),
+        cold_serial=cold.to_dict(),
+        cached_parallel=warm.to_dict(),
+        speedup_cached_parallel=speedup,
+    )
+    if full:
+        assert speedup >= 2.0, f"cached+parallel sweep only {speedup:.1f}x"

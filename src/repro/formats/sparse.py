@@ -53,8 +53,8 @@ class CSCMatrix:
 
     def to_dense(self):
         out = np.zeros(self.shape, dtype=bool)
-        for j in range(self.shape[1]):
-            out[self.column(j), j] = True
+        cols = np.repeat(np.arange(self.shape[1]), np.diff(self.col_ptr))
+        out[self.row_idx, cols] = True
         return out
 
     def index_bytes(self, ptr_bytes=4, idx_bytes=1):
@@ -97,8 +97,8 @@ class CSRMatrix:
 
     def to_dense(self):
         out = np.zeros(self.shape, dtype=bool)
-        for i in range(self.shape[0]):
-            out[i, self.row(i)] = True
+        rows = np.repeat(np.arange(self.shape[0]), np.diff(self.row_ptr))
+        out[rows, self.col_idx] = True
         return out
 
     def index_bytes(self, ptr_bytes=4, idx_bytes=1):

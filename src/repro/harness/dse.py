@@ -5,11 +5,19 @@ SRAM, 0.5 AE compression) qualitatively; this module makes the trade-offs
 measurable: sweep any subset of {MAC lines, bandwidth, buffer size, AE
 compression, forwarding hit rate} over a workload, collect latency/energy,
 and extract the Pareto frontier.
+
+Sweeps fan out across ``concurrent.futures`` workers when ``n_jobs > 1``
+(the grid cross-product is embarrassingly parallel) and always return
+points in deterministic grid order, so serial and parallel runs are
+interchangeable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from functools import partial
 from itertools import product
 from typing import Dict, List, Sequence
 
@@ -64,62 +72,125 @@ def _apply(config: HardwareConfig, accel_kwargs: dict, name, value):
     )
 
 
+def _evaluate_design_point(workload, base_config, names, values) -> DesignPoint:
+    """Evaluate one grid point (module-level so process pools can pickle it)."""
+    config = base_config
+    accel_kwargs: dict = {}
+    for name, value in zip(names, values):
+        config, accel_kwargs = _apply(config, accel_kwargs, name, value)
+    accel = ViTCoDAccelerator(config=config, **accel_kwargs)
+    report = accel.simulate_attention(workload)
+    return DesignPoint(
+        parameters=tuple(zip(names, values)),
+        seconds=report.seconds,
+        energy_joules=report.energy_joules,
+        area_proxy=config.total_macs,
+    )
+
+
 def sweep_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
-                       base_config: HardwareConfig = None) -> List[DesignPoint]:
+                       base_config: HardwareConfig = None,
+                       n_jobs: int = 1) -> List[DesignPoint]:
     """Evaluate the cross product of ``grid`` on ``workload``.
+
+    ``n_jobs`` fans grid points across worker processes (``None`` means one
+    per CPU); results are returned in grid order regardless, and a parallel
+    sweep returns exactly what the serial sweep would.  Worker processes
+    fall back to threads where process pools are unavailable (restricted
+    sandboxes).
 
     Example
     -------
     >>> grid = {"mac_lines": [32, 64, 128], "ae_compression": [None, 0.5]}
-    >>> points = sweep_design_space(workload, grid)
+    >>> points = sweep_design_space(workload, grid, n_jobs=4)
     """
     base_config = base_config or VITCOD_DEFAULT
     if not grid:
         raise ValueError("empty DSE grid")
     names = sorted(grid)
-    points = []
-    for values in product(*(grid[n] for n in names)):
-        config = base_config
-        accel_kwargs: dict = {}
-        for name, value in zip(names, values):
-            config, accel_kwargs = _apply(config, accel_kwargs, name, value)
-        accel = ViTCoDAccelerator(config=config, **accel_kwargs)
-        report = accel.simulate_attention(workload)
-        points.append(
-            DesignPoint(
-                parameters=tuple(zip(names, values)),
-                seconds=report.seconds,
-                energy_joules=report.energy_joules,
-                area_proxy=config.total_macs,
-            )
-        )
-    return points
+    combos = list(product(*(grid[n] for n in names)))
+    if n_jobs is None:
+        n_jobs = os.cpu_count() or 1
+    n_jobs = max(1, min(int(n_jobs), len(combos)))
+    evaluate = partial(_evaluate_design_point, workload, base_config, names)
+    if n_jobs == 1:
+        return [evaluate(values) for values in combos]
+    # One chunk per worker: the workload is pickled once per chunk, not per
+    # point, and map() preserves submission order.  Only pool *creation* may
+    # fall back to threads (sandboxes without process/semaphore support);
+    # failures during evaluation — including BrokenProcessPool — propagate.
+    chunksize = -(-len(combos) // n_jobs)
+    try:
+        pool = ProcessPoolExecutor(max_workers=n_jobs)
+    except OSError:
+        with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+            return list(pool.map(evaluate, combos))
+    with pool:
+        return list(pool.map(evaluate, combos, chunksize=chunksize))
+
+
+def _pareto_mask_sorted_2d(values: np.ndarray) -> np.ndarray:
+    """Non-dominated mask for two minimise-objectives via lexsort + scan.
+
+    A point is dominated iff some point has both coordinates ``<=`` and at
+    least one ``<`` — equal points never dominate each other.  After sorting
+    by (a, b), a point is dominated exactly when the running minimum of ``b``
+    over strictly-smaller ``a`` reaches it, or a same-``a`` point has a
+    strictly smaller ``b``.
+    """
+    order = np.lexsort((values[:, 1], values[:, 0]))
+    a = values[order, 0]
+    b = values[order, 1]
+    n = a.size
+    group_start = np.ones(n, dtype=bool)
+    group_start[1:] = a[1:] != a[:-1]
+    group_id = np.cumsum(group_start) - 1
+    starts = np.flatnonzero(group_start)
+    cummin_b = np.minimum.accumulate(b)
+    prev_min = np.full(starts.size, np.inf)
+    prev_min[1:] = cummin_b[starts[1:] - 1]
+    group_min_b = b[starts]
+    dominated = (prev_min[group_id] <= b) | (b > group_min_b[group_id])
+    keep = np.empty(n, dtype=bool)
+    keep[order] = ~dominated
+    return keep
+
+
+def _pareto_mask_pairwise(values: np.ndarray) -> np.ndarray:
+    """Non-dominated mask for any objective count via one broadcast."""
+    less_eq = np.all(values[:, None, :] <= values[None, :, :], axis=2)
+    strictly = np.any(values[:, None, :] < values[None, :, :], axis=2)
+    dominated = np.any(less_eq & strictly, axis=0)
+    return ~dominated
 
 
 def pareto_frontier(points: Sequence[DesignPoint],
                     objectives=("seconds", "energy_joules")) -> List[DesignPoint]:
-    """Non-dominated subset under the given minimise-objectives."""
+    """Non-dominated subset under the given minimise-objectives.
+
+    The two-objective case (the common one) runs in O(n log n) via a sort
+    and a prefix-minimum scan; other objective counts use a vectorized
+    pairwise dominance check.  Points are returned in input order.
+    """
     if not points:
         return []
     values = np.array(
-        [[getattr(p, obj) for obj in objectives] for p in points]
+        [[getattr(p, obj) for obj in objectives] for p in points],
+        dtype=np.float64,
     )
-    keep = []
-    for i, row in enumerate(values):
-        dominated = np.any(
-            np.all(values <= row, axis=1)
-            & np.any(values < row, axis=1)
-        )
-        if not dominated:
-            keep.append(points[i])
-    return keep
+    if values.shape[1] == 2:
+        keep = _pareto_mask_sorted_2d(values)
+    else:
+        keep = _pareto_mask_pairwise(values)
+    return [p for p, k in zip(points, keep) if k]
 
 
 def sensitivity(workload: ModelWorkload, parameter, values,
-                base_config: HardwareConfig = None) -> List[dict]:
+                base_config: HardwareConfig = None,
+                n_jobs: int = 1) -> List[dict]:
     """One-dimensional sensitivity: latency/energy vs one parameter."""
     points = sweep_design_space(workload, {parameter: list(values)},
-                                base_config=base_config)
+                                base_config=base_config, n_jobs=n_jobs)
     return [
         {
             parameter: p.parameter(parameter),

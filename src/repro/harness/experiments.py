@@ -20,9 +20,13 @@ from ..baselines import (
 from ..hw import (
     ViTCoDAccelerator,
     attention_workload_from_masks,
-    model_workload,
 )
 from ..models import NLP_BERT_BASE, get_config
+# Experiment runners are pure in (config, sparsity, seed, ...), so workload
+# construction — by far their hottest step — goes through the process-wide
+# memoization cache: figure runners that share a model/sparsity point build
+# its masks once.
+from ..perf.cache import cached_model_workload as model_workload
 from ..roofline import sddmm_roofline_points, ridge_intensity
 from ..sparsity import (
     metrics,

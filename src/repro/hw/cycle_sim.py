@@ -20,7 +20,26 @@ against RTL:
 
 It is deliberately column-granular (an event per K column, not per cycle):
 fine enough to capture pipelining and contention, coarse enough to simulate
-a 197-token, 12-head layer in milliseconds of wall time.
+a 197-token, 12-head layer in microseconds of wall time.
+
+Two interchangeable engines implement the same schedule:
+
+* ``engine="vectorized"`` (default) expresses the per-column FCFS queue
+  recurrences as numpy scans — the double-buffered compute recurrence
+  ``compute_free[i] = max(compute_free[i-1], load_done[i]) + cycles[i]``
+  is a max-plus scan, computed as
+  ``cumsum(cycles) + maximum.accumulate(load_done - exclusive_cumsum(cycles))``
+  — so a whole layer is a handful of array ops;
+* ``engine="scalar"`` is the original per-:class:`ColumnJob` Python event
+  loop, retained as the executable reference semantics.
+
+To let tests assert *exact* (bitwise) agreement between the two, every
+event duration is snapped to a ``2**-20``-cycle grid (:func:`_quantize`):
+compute and softmax durations are integer cycle counts already, and DRAM
+service times are quantized at the single point where they enter the event
+algebra.  With all durations on that grid and makespans far below ``2**33``
+cycles, every double-precision add/max in either engine is exact, so the
+scan and the loop agree bit-for-bit regardless of association order.
 """
 
 from __future__ import annotations
@@ -29,12 +48,39 @@ from dataclasses import dataclass, field
 from math import ceil
 from typing import List, Optional
 
+import numpy as np
+
 from .allocator import allocate_mac_lines
 from .dram import DramModel, DramRequest
 from .params import VITCOD_DEFAULT, HardwareConfig
-from .workload import AttentionWorkload
+from .workload import AttentionWorkload, split_remainder
 
 __all__ = ["Timeline", "EngineSchedule", "CycleSimResult", "CycleAccurateSimulator"]
+
+#: Durations are quantized to multiples of ``1 / _TIME_SCALE`` cycles so the
+#: event algebra is exact in double precision (see module docstring).
+_TIME_SCALE = float(1 << 20)
+
+
+def _quantize(cycles):
+    """Snap a duration to the ``2**-20``-cycle grid."""
+    return round(cycles * _TIME_SCALE) / _TIME_SCALE
+
+
+def _queue_scan(request_times, durations, init=0.0):
+    """Vectorized FCFS queue: ``f[i] = max(f[i-1], request_times[i]) + durations[i]``.
+
+    ``f[-1] = init``.  Unrolling the recurrence gives
+    ``f[i] = C[i] + max(init, max_{j<=i}(request_times[j] - C[j-1]))`` with
+    ``C = cumsum(durations)`` — an associative max-plus scan.  Returns the
+    array of completion times (empty input -> empty array).
+    """
+    durations = np.asarray(durations, dtype=np.float64)
+    if durations.size == 0:
+        return durations
+    total = np.cumsum(durations)
+    slack = np.asarray(request_times, dtype=np.float64) - (total - durations)
+    return total + np.maximum(np.maximum.accumulate(slack), init)
 
 
 @dataclass
@@ -127,20 +173,38 @@ class CycleAccurateSimulator:
         Compress Q/K streams/loads by ``ae_compression``.
     dram:
         Optional custom :class:`DramModel` (burst/row-buffer behaviour).
+    engine:
+        ``"vectorized"`` (default) runs the numpy scan scheduler;
+        ``"scalar"`` runs the reference per-job event loop.  Both produce
+        identical :class:`CycleSimResult` values.
     """
 
+    _ENGINES = ("vectorized", "scalar")
+
     def __init__(self, config: Optional[HardwareConfig] = None, use_ae=True,
-                 ae_compression=0.5, dram: Optional[DramModel] = None):
+                 ae_compression=0.5, dram: Optional[DramModel] = None,
+                 engine="vectorized"):
         self.config = config or VITCOD_DEFAULT
         self.use_ae = use_ae
         if not 0.0 < ae_compression <= 1.0:
             raise ValueError("ae_compression must be in (0, 1]")
+        if engine not in self._ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {self._ENGINES}"
+            )
         self.ae_compression = ae_compression
+        self.engine = engine
         self.dram = dram or DramModel(
             bytes_per_cycle=self.config.bytes_per_cycle
         )
 
     # ------------------------------------------------------------------
+    def _service(self, nbytes, sequential=True, tag=""):
+        """Grid-quantized DRAM service time for one request (see module doc)."""
+        return _quantize(self.dram.service_cycles(
+            DramRequest(bytes=nbytes, sequential=sequential, tag=tag)
+        ))
+
     def _build_jobs(self, layer: AttentionWorkload):
         """Split the layer's columns into denser and sparser job lists."""
         b = self.config.bytes_per_element
@@ -156,10 +220,11 @@ class CycleAccurateSimulator:
             col_nnz = head.sparser_column_nnz
             if col_nnz is None:
                 # Fall back to the mean density when per-column counts are
-                # unavailable (e.g. dense workloads).
-                cols = head.num_tokens - head.num_global_tokens
-                per = head.sparser_nnz // cols if cols else 0
-                col_nnz = [per] * cols
+                # unavailable (e.g. dense workloads); the remainder lands on
+                # the leading columns so no products are dropped.
+                col_nnz = split_remainder(
+                    head.sparser_nnz, head.num_tokens - head.num_global_tokens
+                )
             for j, nnz in enumerate(col_nnz):
                 if nnz == 0:
                     continue
@@ -170,6 +235,30 @@ class CycleAccurateSimulator:
                 ))
         return denser, sparser
 
+    def _column_products(self, layer: AttentionWorkload):
+        """Per-column SDDMM products for both engines as int64 arrays.
+
+        Mirrors :meth:`_build_jobs` (same job order, zero-product sparser
+        columns dropped) without materialising per-job objects.
+        """
+        tokens = np.array([h.num_tokens for h in layer.heads], dtype=np.int64)
+        globals_ = np.array(
+            [h.num_global_tokens for h in layer.heads], dtype=np.int64
+        )
+        denser = np.repeat(tokens, globals_)
+        sparser_parts = []
+        for head in layer.heads:
+            col_nnz = head.sparser_column_nnz
+            if col_nnz is None:
+                col_nnz = split_remainder(
+                    head.sparser_nnz, head.num_tokens - head.num_global_tokens
+                )
+            col_nnz = np.asarray(col_nnz, dtype=np.int64)
+            sparser_parts.append(col_nnz[col_nnz > 0])
+        sparser = (np.concatenate(sparser_parts) if sparser_parts
+                   else np.zeros(0, dtype=np.int64))
+        return denser, sparser
+
     def _run_engine(self, engine: EngineSchedule, dram: Timeline,
                     softmax: Timeline, head_dim, start_time=0.0):
         """Run one engine's job list with double-buffered K loads."""
@@ -177,9 +266,7 @@ class CycleAccurateSimulator:
         load_done = start_time
         compute_free = start_time
         for job in engine.jobs:
-            service = self.dram.service_cycles(
-                DramRequest(bytes=job.load_bytes, sequential=job.sequential)
-            )
+            service = self._service(job.load_bytes, sequential=job.sequential)
             # Double buffering: the next K load may proceed while the
             # previous column computes, but loads serialise on the channel.
             _, load_done = dram.acquire(load_done, service)
@@ -195,10 +282,29 @@ class CycleAccurateSimulator:
         return engine.finish_time
 
     # ------------------------------------------------------------------
-    def simulate_layer(self, layer: AttentionWorkload) -> CycleSimResult:
+    def _layer_geometry(self, layer: AttentionWorkload):
+        """Byte/tile quantities shared by both engines."""
         cfg = self.config
         b = cfg.bytes_per_element
         ratio = self.ae_compression if self.use_ae else 1.0
+        k_col_bytes = int(layer.head_dim * b * ratio)
+        tensor_bytes = layer.num_tokens * layer.embed_dim * b
+        # Q stream occupies the channel up front (in k-tile chunks that
+        # interleave with the K column loads in the real machine; FCFS
+        # serialisation is a faithful upper bound at this granularity).
+        k_tiles = max(1, ceil(tensor_bytes * ratio / (cfg.act_buffer_bytes / 2)))
+        q_stream = int(tensor_bytes * ratio * k_tiles)
+        return k_col_bytes, tensor_bytes, q_stream
+
+    def simulate_layer(self, layer: AttentionWorkload) -> CycleSimResult:
+        if self.engine == "scalar":
+            return self._simulate_layer_scalar(layer)
+        return self._simulate_layer_vectorized(layer)
+
+    def _simulate_layer_scalar(self, layer: AttentionWorkload) -> CycleSimResult:
+        """Reference event loop: one :class:`Timeline` acquire per event."""
+        cfg = self.config
+        k_col_bytes, tensor_bytes, q_stream = self._layer_geometry(layer)
 
         denser_jobs, sparser_jobs = self._build_jobs(layer)
         denser_macs = sum(j.products for j in denser_jobs) * layer.head_dim
@@ -212,15 +318,7 @@ class CycleAccurateSimulator:
         dram = Timeline("dram")
         softmax = Timeline("softmax")
 
-        # Q stream occupies the channel up front (in k-tile chunks that
-        # interleave with the K column loads in the real machine; FCFS
-        # serialisation is a faithful upper bound at this granularity).
-        tensor_bytes = layer.num_tokens * layer.embed_dim * b
-        k_tiles = max(1, ceil(tensor_bytes * ratio / (cfg.act_buffer_bytes / 2)))
-        q_stream = tensor_bytes * ratio * k_tiles
-        dram.acquire(0.0, self.dram.service_cycles(
-            DramRequest(bytes=int(q_stream), sequential=True, tag="q-stream")
-        ))
+        dram.acquire(0.0, self._service(q_stream, tag="q-stream"))
 
         t_denser = self._run_engine(denser, dram, softmax, layer.head_dim)
         t_sparser = self._run_engine(sparser, dram, softmax, layer.head_dim)
@@ -234,9 +332,9 @@ class CycleAccurateSimulator:
             * ceil(layer.head_dim / cfg.macs_per_line)
         )
         v_bytes = 2 * tensor_bytes
-        _, v_done = dram.acquire(sddmm_done, self.dram.service_cycles(
-            DramRequest(bytes=v_bytes, sequential=True, tag="v-stream")
-        ))
+        _, v_done = dram.acquire(
+            sddmm_done, self._service(v_bytes, tag="v-stream")
+        )
         spmm_done = max(sddmm_done + spmm_compute, v_done)
 
         denser_busy = sum(
@@ -254,6 +352,75 @@ class CycleAccurateSimulator:
             dram_busy=dram.busy,
             softmax_busy=softmax.busy,
             jobs_executed=len(denser_jobs) + len(sparser_jobs) + 2,
+        )
+
+    def _simulate_layer_vectorized(self, layer: AttentionWorkload) -> CycleSimResult:
+        """Scan scheduler: the same schedule as array pipelines.
+
+        Event order matches the scalar loop exactly: the Q stream holds the
+        DRAM channel first, then the denser engine's column loads, then the
+        sparser engine's, then the V stream; softmax requests arrive in
+        engine completion order.
+        """
+        cfg = self.config
+        head_dim = layer.head_dim
+        k_col_bytes, tensor_bytes, q_stream = self._layer_geometry(layer)
+
+        denser_products, sparser_products = self._column_products(layer)
+        n_d, n_s = denser_products.size, sparser_products.size
+        denser_macs = int(denser_products.sum()) * head_dim
+        sparser_macs = int(sparser_products.sum()) * head_dim
+        alloc = allocate_mac_lines(cfg.num_mac_lines, denser_macs, sparser_macs)
+        d_lines = max(alloc.denser_lines, 1)
+        s_lines = max(alloc.sparser_lines, 1)
+
+        # Integer durations (exact doubles): ceil-divisions in int64.
+        per_wave = ceil(head_dim / cfg.macs_per_line)
+        d_cycles = (-(-denser_products // d_lines) * per_wave).astype(np.float64)
+        s_cycles = (-(-sparser_products // s_lines) * per_wave).astype(np.float64)
+        lanes = cfg.softmax_lanes
+        sm_d = (-(-denser_products // lanes)).astype(np.float64)
+        sm_s = (-(-sparser_products // lanes)).astype(np.float64)
+
+        # DRAM channel: q-stream, then one identical K-column load per job.
+        q_service = self._service(q_stream, tag="q-stream")
+        s_col = self._service(k_col_bytes)
+        load_done_d = q_service + s_col * np.arange(1, n_d + 1)
+        load_done_s = (q_service + s_col * n_d
+                       + s_col * np.arange(1, n_s + 1))
+
+        # Double-buffered compute on each engine, then the shared softmax
+        # queue (denser's requests precede sparser's, as in the event loop).
+        free_d = _queue_scan(load_done_d, d_cycles)
+        free_s = _queue_scan(load_done_s, s_cycles)
+        t_denser = float(free_d[-1]) if n_d else 0.0
+        t_sparser = float(free_s[-1]) if n_s else 0.0
+        sm_after_d = _queue_scan(free_d, sm_d)
+        sm_free = float(sm_after_d[-1]) if n_d else 0.0
+        sm_after_s = _queue_scan(free_s, sm_s, init=sm_free)
+        if n_s:
+            sm_free = float(sm_after_s[-1])
+        sddmm_done = max(t_denser, t_sparser, sm_free)
+
+        spmm_products = layer.total_nnz
+        spmm_compute = (
+            ceil(spmm_products / cfg.num_mac_lines)
+            * ceil(head_dim / cfg.macs_per_line)
+        )
+        v_service = self._service(2 * tensor_bytes, tag="v-stream")
+        dram_free = q_service + s_col * (n_d + n_s)
+        v_done = max(sddmm_done, dram_free) + v_service
+        spmm_done = max(sddmm_done + spmm_compute, v_done)
+
+        return CycleSimResult(
+            makespan=spmm_done,
+            sddmm_makespan=sddmm_done,
+            spmm_makespan=spmm_done - sddmm_done,
+            denser_busy=float(d_cycles.sum()),
+            sparser_busy=float(s_cycles.sum()),
+            dram_busy=q_service + s_col * (n_d + n_s) + v_service,
+            softmax_busy=float(sm_d.sum() + sm_s.sum()),
+            jobs_executed=n_d + n_s + 2,
         )
 
     def simulate_attention(self, layers) -> CycleSimResult:

@@ -20,7 +20,25 @@ from ..sparsity.patterns import synthetic_vit_attention
 
 __all__ = ["HeadWorkload", "AttentionWorkload", "GemmWorkload", "ModelWorkload",
            "attention_workload_from_masks", "dense_attention_workload",
-           "synthetic_attention_workload", "model_workload"]
+           "synthetic_attention_workload", "model_workload",
+           "split_remainder"]
+
+
+def split_remainder(nnz, cols):
+    """Spread ``nnz`` products over ``cols`` columns without losing the
+    remainder: the first ``nnz % cols`` columns carry one extra product.
+
+    The shared mean-density fallback for heads lacking per-column counts —
+    both the cycle simulator's job builders and :meth:`AttentionWorkload.column_cv`
+    must distribute identically or the load-imbalance metric diverges from
+    the simulated job stream.
+    """
+    if cols <= 0:
+        return np.zeros(0, dtype=np.int64)
+    per, rem = divmod(int(nnz), cols)
+    counts = np.full(cols, per, dtype=np.int64)
+    counts[:rem] += 1
+    return counts
 
 
 @dataclass(frozen=True)
@@ -133,9 +151,10 @@ class AttentionWorkload:
             if head.sparser_column_nnz is not None:
                 products.extend(int(x) for x in head.sparser_column_nnz)
             else:
-                cols = head.num_tokens - head.num_global_tokens
-                if cols:
-                    products.extend([head.sparser_nnz // cols] * cols)
+                products.extend(split_remainder(
+                    head.sparser_nnz,
+                    head.num_tokens - head.num_global_tokens,
+                ).tolist())
         arr = np.asarray([p for p in products if p > 0], dtype=np.float64)
         if arr.size == 0 or arr.mean() == 0:
             return 0.0

@@ -1,0 +1,79 @@
+"""Small wall-clock timing helpers for the perf microbenchmarks.
+
+Measured, tracked numbers — not estimates — drive this repo's performance
+work: ``benchmarks/perf`` times the hot paths with :func:`benchit` and
+records the results in ``BENCH_perf.json`` so each PR leaves a trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["Timer", "BenchResult", "benchit"]
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    def __init__(self):
+        self.seconds = 0.0
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.seconds = time.perf_counter() - self._start
+        return False
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Wall-clock samples of one microbenchmark."""
+
+    name: str
+    times: List[float] = field(repr=False)
+    repeats: int = 0
+
+    @property
+    def best(self):
+        return min(self.times)
+
+    @property
+    def mean(self):
+        return sum(self.times) / len(self.times)
+
+    def to_dict(self):
+        """Machine-readable record for ``BENCH_perf.json``."""
+        return {
+            "name": self.name,
+            "repeats": self.repeats,
+            "best_s": self.best,
+            "mean_s": self.mean,
+            "times_s": list(self.times),
+        }
+
+
+def benchit(fn, *, name=None, repeats=5, warmup=1) -> BenchResult:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` discarded calls.
+
+    ``best`` (the minimum) is the headline number: wall-clock noise is
+    strictly additive, so the minimum is the least-noisy estimate of the
+    true cost.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return BenchResult(name=name or getattr(fn, "__name__", "bench"),
+                       times=times, repeats=repeats)

@@ -83,14 +83,38 @@ def threshold_for_sparsity(attention_map, target_sparsity, tol=5e-3, max_iter=60
 
     The paper sweeps sparsity ratios {50…95}% (§VI-C); this inverts the
     θp → sparsity map, which is monotone (larger θp keeps more entries).
+
+    The per-row sort and cumulative sums do not depend on θp, so they are
+    hoisted out of the bisection loop: each iteration only re-derives the
+    per-row keep counts from the precomputed cumulative mass, exactly as
+    :func:`prune_attention_map` (with its default ``min_keep=1``) would.
     """
     if not 0.0 <= target_sparsity < 1.0:
         raise ValueError(f"target_sparsity must be in [0, 1), got {target_sparsity}")
+
+    attention_map = np.asarray(attention_map, dtype=np.float64)
+    rows = attention_map.reshape(-1, attention_map.shape[-1])
+    n = rows.shape[-1]
+    row_sums = rows.sum(axis=-1, keepdims=True)
+    row_sums = np.where(row_sums <= 0, 1.0, row_sums)
+    probs = rows / row_sums
+    cumulative = np.cumsum(
+        np.take_along_axis(probs, np.argsort(-probs, axis=-1, kind="stable"),
+                           axis=-1),
+        axis=-1,
+    )
+    total_mass = cumulative[:, -1]
+
+    def sparsity_at(theta):
+        keep_counts = np.argmax(cumulative >= theta - 1e-12, axis=-1) + 1
+        keep_counts = np.where(total_mass < theta - 1e-12, n, keep_counts)
+        return 1.0 - keep_counts.sum() / cumulative.size
+
     lo, hi = 1e-6, 1.0
     best = hi
     for _ in range(max_iter):
         mid = 0.5 * (lo + hi)
-        sparsity = mask_sparsity(prune_attention_map(attention_map, mid))
+        sparsity = sparsity_at(mid)
         if abs(sparsity - target_sparsity) <= tol:
             return mid
         if sparsity > target_sparsity:

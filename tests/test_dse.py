@@ -1,5 +1,6 @@
 """Tests for the design-space exploration utilities."""
 
+import numpy as np
 import pytest
 
 from repro.harness.dse import (
@@ -60,6 +61,29 @@ class TestSweep:
         assert points[1].area_proxy == 64 * 8
 
 
+class TestParallelSweep:
+    GRID = {"mac_lines": [16, 32, 64], "ae_compression": [None, 0.5]}
+
+    def test_parallel_equals_serial(self, small_workload):
+        serial = sweep_design_space(small_workload, self.GRID)
+        parallel = sweep_design_space(small_workload, self.GRID, n_jobs=3)
+        assert parallel == serial  # same points, same (grid) order
+
+    def test_n_jobs_clamped_to_grid(self, small_workload):
+        points = sweep_design_space(small_workload, {"mac_lines": [32]},
+                                    n_jobs=8)
+        assert len(points) == 1
+
+    def test_n_jobs_none_uses_cpus(self, small_workload):
+        points = sweep_design_space(small_workload, self.GRID, n_jobs=None)
+        assert points == sweep_design_space(small_workload, self.GRID)
+
+    def test_sensitivity_parallel(self, small_workload):
+        serial = sensitivity(small_workload, "mac_lines", [32, 64])
+        parallel = sensitivity(small_workload, "mac_lines", [32, 64], n_jobs=2)
+        assert parallel == serial
+
+
 class TestPareto:
     def test_dominated_points_removed(self):
         a = DesignPoint((("x", 1),), seconds=1.0, energy_joules=1.0,
@@ -77,6 +101,45 @@ class TestPareto:
     def test_all_identical_kept(self):
         p = DesignPoint((), 1.0, 1.0, 1)
         assert len(pareto_frontier([p, p, p])) == 3
+
+    @staticmethod
+    def _brute_force(points, objectives):
+        values = np.array(
+            [[getattr(p, o) for o in objectives] for p in points]
+        )
+        keep = []
+        for i, row in enumerate(values):
+            dominated = any(
+                np.all(q <= row) and np.any(q < row) for q in values
+            )
+            if not dominated:
+                keep.append(points[i])
+        return keep
+
+    @pytest.mark.parametrize("n_objectives", [2, 3])
+    def test_matches_brute_force_with_ties(self, n_objectives):
+        """The sort-based frontier equals the O(n²) dominance scan,
+        including duplicated and tied coordinates."""
+        rng = np.random.default_rng(42)
+        objectives = ("seconds", "energy_joules", "area_proxy")[:n_objectives]
+        for _ in range(50):
+            n = int(rng.integers(1, 30))
+            vals = rng.integers(0, 5, size=(n, 3)).astype(float)
+            points = [
+                DesignPoint((("i", i),), seconds=v[0], energy_joules=v[1],
+                            area_proxy=v[2])
+                for i, v in enumerate(vals)
+            ]
+            assert (pareto_frontier(points, objectives=objectives)
+                    == self._brute_force(points, objectives))
+
+    def test_preserves_input_order(self):
+        points = [
+            DesignPoint((("i", 0),), 3.0, 1.0, 1),
+            DesignPoint((("i", 1),), 1.0, 3.0, 1),
+            DesignPoint((("i", 2),), 2.0, 2.0, 1),
+        ]
+        assert pareto_frontier(points) == points
 
     def test_frontier_on_real_sweep(self, small_workload):
         points = sweep_design_space(
