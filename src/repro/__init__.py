@@ -9,6 +9,8 @@ and Accelerator Co-Design* (HPCA 2023) end to end:
 * :mod:`repro.autoencoder` — the learnable Q/K auto-encoder and the unified
   ViTCoD pipeline (Fig. 10);
 * :mod:`repro.formats` — CSC/CSR/COO sparse formats and tiling;
+* :mod:`repro.sim` — the unified simulation-engine layer (protocols plus
+  the shared whole-model accumulation every simulator implements);
 * :mod:`repro.hw` — the two-pronged ViTCoD accelerator simulator (§V);
 * :mod:`repro.baselines` — CPU/EdgeGPU/GPU platforms, SpAtten, Sanger;
 * :mod:`repro.compiler` — the algorithm-hardware interface (Fig. 14) plus a
@@ -34,6 +36,7 @@ from . import models
 from . import sparsity
 from . import autoencoder
 from . import formats
+from . import sim
 from . import hw
 from . import baselines
 from . import compiler
@@ -47,6 +50,7 @@ __all__ = [
     "sparsity",
     "autoencoder",
     "formats",
+    "sim",
     "hw",
     "baselines",
     "compiler",

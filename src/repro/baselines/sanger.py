@@ -23,17 +23,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import ceil
 
+import numpy as np
+
 from ..hw.dataflow import s_stationary_sddmm_cycles, softmax_cycles
 from ..hw.params import VITCOD_DEFAULT, HardwareConfig
 from ..hw.trace import EnergyBreakdown, LatencyBreakdown, SimReport
-from ..hw.workload import AttentionWorkload, ModelWorkload
+from ..hw.workload import AttentionWorkload
+from ..sim.engine import ModelSimulatorBase
 from .calibration import SANGER_CALIBRATION
 
 __all__ = ["SangerSimulator"]
 
 
 @dataclass
-class SangerSimulator:
+class SangerSimulator(ModelSimulatorBase):
     """Sanger at a hardware configuration comparable to ViTCoD (§VI-A:
     "we implement and simulate both of them on ViTs with similar hardware
     configurations and areas for fair comparisons")."""
@@ -56,15 +59,14 @@ class SangerSimulator:
         """Slot utilization after packing rows into ``pack_width`` segments.
 
         Rows with r non-zeros occupy ``ceil(r / W) * W`` PE slots."""
-        total_nnz = 0
-        total_slots = 0
-        for head in layer.heads:
-            r = max(head.total_nnz / head.num_tokens, 1e-9)
-            total_nnz += head.total_nnz
-            total_slots += ceil(r / self.pack_width) * self.pack_width * head.num_tokens
+        stats = layer.head_stats()
+        head_nnz = stats.denser_nnz + stats.sparser_nnz
+        r = np.maximum(head_nnz / stats.tokens, 1e-9)
+        slot_rows = np.ceil(r / self.pack_width) * self.pack_width
+        total_slots = int((slot_rows * stats.tokens).sum())
         if total_slots == 0:
             return 1.0
-        return max(min(total_nnz / total_slots, 1.0), 0.05)
+        return max(min(int(head_nnz.sum()) / total_slots, 1.0), 0.05)
 
     # ------------------------------------------------------------------
     def simulate_attention_layer(self, layer: AttentionWorkload) -> SimReport:
@@ -151,24 +153,12 @@ class SangerSimulator:
         )
 
     # ------------------------------------------------------------------
-    def simulate_attention(self, model: ModelWorkload) -> SimReport:
-        report = None
-        for layer in model.attention_layers:
-            r = self.simulate_attention_layer(layer)
-            report = r if report is None else report.merged(r)
-        report.workload = f"{model.name}:attention"
-        return report
-
-    def simulate_model(self, model: ModelWorkload) -> SimReport:
-        from ..hw.accelerator import ViTCoDAccelerator
-
-        report = self.simulate_attention(model)
+    # Whole models: driven by repro.sim's shared accumulation base.
+    # ------------------------------------------------------------------
+    def _dense_simulator(self):
         # Dense layers run on the same MAC array reconfigured for GEMM —
         # identical to ViTCoD's dense path (no AE writeback compression).
-        dense_path = ViTCoDAccelerator(config=self.config, use_ae=False,
-                                       name=self.name)
-        for gemm in model.linear_layers:
-            report = report.merged(dense_path.simulate_gemm(gemm))
-        report.workload = f"{model.name}:end2end"
-        report.platform = self.name
-        return report
+        from ..hw.accelerator import ViTCoDAccelerator
+
+        return ViTCoDAccelerator(config=self.config, use_ae=False,
+                                 name=self.name)

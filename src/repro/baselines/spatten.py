@@ -21,6 +21,7 @@ from ..hw.dataflow import dense_gemm_cycles, softmax_cycles
 from ..hw.params import VITCOD_DEFAULT, HardwareConfig
 from ..hw.trace import EnergyBreakdown, LatencyBreakdown, SimReport
 from ..hw.workload import AttentionWorkload, ModelWorkload
+from ..sim.engine import ModelSimulatorBase
 from .calibration import SPATTEN_CALIBRATION
 
 __all__ = ["SpAttenSimulator", "cascade_keep_ratios"]
@@ -44,7 +45,7 @@ def cascade_keep_ratios(num_layers, target_sparsity):
 
 
 @dataclass
-class SpAttenSimulator:
+class SpAttenSimulator(ModelSimulatorBase):
     """SpAtten at a ViTCoD-comparable hardware configuration."""
 
     config: HardwareConfig = None
@@ -111,34 +112,31 @@ class SpAttenSimulator:
         )
 
     # ------------------------------------------------------------------
-    def simulate_attention(self, model: ModelWorkload) -> SimReport:
-        layers = model.attention_layers
-        target = model.mean_sparsity
-        ratios = cascade_keep_ratios(len(layers), target)
-        report = None
-        for layer, ratio in zip(layers, ratios):
-            r = self.simulate_attention_layer(layer, keep_ratio=ratio)
-            report = r if report is None else report.merged(r)
-        report.workload = f"{model.name}:attention"
-        return report
+    # Whole models: driven by repro.sim's shared accumulation base.
+    # ------------------------------------------------------------------
+    def _keep_ratios(self, model: ModelWorkload):
+        """The model's pruning cascade (single source for simulation and
+        the reported ``mean_keep_ratio``)."""
+        return cascade_keep_ratios(len(model.attention_layers),
+                                   model.mean_sparsity)
 
-    def simulate_model(self, model: ModelWorkload) -> SimReport:
-        from ..hw.accelerator import ViTCoDAccelerator
+    def _layer_kwargs(self, model: ModelWorkload):
+        """The pruning cascade: layer ``i`` runs at its cascade keep ratio."""
+        return ({"keep_ratio": ratio} for ratio in self._keep_ratios(model))
 
-        report = self.simulate_attention(model)
-        ratios = cascade_keep_ratios(len(model.attention_layers),
-                                     model.mean_sparsity)
-        mean_keep = sum(ratios) / len(ratios)
+    def _dense_simulator(self):
         # Dense layers run unpruned: in the paper's iso-accuracy ViT setting
         # SpAtten's aggressive token removal cannot extend into the MLPs
         # without exceeding the accuracy budget (its attention sparsity is
         # already the coarse-grained bottleneck — Table I), so the cascade's
-        # savings are confined to the attention phase above.
-        dense_path = ViTCoDAccelerator(config=self.config, use_ae=False,
-                                       name=self.name)
-        for gemm in model.linear_layers:
-            report = report.merged(dense_path.simulate_gemm(gemm))
-        report.workload = f"{model.name}:end2end"
-        report.platform = self.name
-        report.details["mean_keep_ratio"] = mean_keep
+        # savings are confined to the attention phase.
+        from ..hw.accelerator import ViTCoDAccelerator
+
+        return ViTCoDAccelerator(config=self.config, use_ae=False,
+                                 name=self.name)
+
+    def simulate_model(self, model: ModelWorkload) -> SimReport:
+        report = super().simulate_model(model)
+        ratios = self._keep_ratios(model)
+        report.details["mean_keep_ratio"] = sum(ratios) / len(ratios)
         return report

@@ -9,6 +9,8 @@ from .surrogate import (
 )
 from .dse import (
     DesignPoint,
+    ParetoFront,
+    iter_design_space,
     sweep_design_space,
     pareto_frontier,
     sensitivity,
@@ -29,6 +31,7 @@ from .experiments import (
     fig15_speedups,
     fig17_accuracy_latency,
     fig19_breakdown_energy,
+    cycle_per_layer_breakdown,
     table1_taxonomy,
     ablation_prune_reorder,
     nlp_comparison,
@@ -37,6 +40,8 @@ from .experiments import (
 
 __all__ = [
     "DesignPoint",
+    "ParetoFront",
+    "iter_design_space",
     "sweep_design_space",
     "pareto_frontier",
     "sensitivity",
@@ -59,6 +64,7 @@ __all__ = [
     "fig15_speedups",
     "fig17_accuracy_latency",
     "fig19_breakdown_energy",
+    "cycle_per_layer_breakdown",
     "table1_taxonomy",
     "ablation_prune_reorder",
     "nlp_comparison",

@@ -6,20 +6,29 @@ measurable: sweep any subset of {MAC lines, bandwidth, buffer size, AE
 compression, forwarding hit rate} over a workload, collect latency/energy,
 and extract the Pareto frontier.
 
-Sweeps fan out across ``concurrent.futures`` workers when ``n_jobs > 1``
-(the grid cross-product is embarrassingly parallel) and always return
-points in deterministic grid order, so serial and parallel runs are
-interchangeable.
+All evaluation goes through ONE streaming engine:
+
+* :func:`iter_design_space` lazily walks the grid cross-product and yields
+  :class:`DesignPoint` objects as they complete — huge grids are never
+  materialised, and an incremental :class:`ParetoFront` can prune the
+  stream on the fly (pass ``frontier=``);
+* :func:`sweep_design_space` is the eager wrapper: it drains the stream
+  and restores deterministic grid order, so serial and parallel runs are
+  interchangeable (and equal to the streaming results point for point).
+
+Parallel runs fan grid points across ``concurrent.futures`` workers in
+chunks (the workload is pickled once per chunk, not per point) with a
+bounded number of chunks in flight, yielding chunks ``as_completed``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    ThreadPoolExecutor, wait
 from dataclasses import dataclass, replace
-from functools import partial
-from itertools import product
-from typing import Dict, List, Sequence
+from itertools import islice, product
+from typing import Dict, Iterable, Iterator, List, Sequence
 
 import numpy as np
 
@@ -27,8 +36,8 @@ from ..hw.accelerator import ViTCoDAccelerator
 from ..hw.params import VITCOD_DEFAULT, HardwareConfig
 from ..hw.workload import ModelWorkload
 
-__all__ = ["DesignPoint", "sweep_design_space", "pareto_frontier",
-           "sensitivity"]
+__all__ = ["DesignPoint", "ParetoFront", "iter_design_space",
+           "sweep_design_space", "pareto_frontier", "sensitivity"]
 
 
 @dataclass(frozen=True)
@@ -88,45 +97,221 @@ def _evaluate_design_point(workload, base_config, names, values) -> DesignPoint:
     )
 
 
+def _evaluate_chunk(workload, base_config, names, chunk):
+    """Evaluate a list of ``(grid_index, values)`` pairs in one task."""
+    return [
+        (index, _evaluate_design_point(workload, base_config, names, values))
+        for index, values in chunk
+    ]
+
+
+class ParetoFront:
+    """Incremental non-dominated set under minimise-objectives.
+
+    Feed points one at a time with :meth:`offer`; at any moment
+    :attr:`points` is exactly :func:`pareto_frontier` of everything offered
+    so far (equal points never dominate each other, so duplicates of a
+    frontier point are all kept — the same convention as the eager scan).
+    This is what lets a streaming sweep prune a huge grid without ever
+    holding more than the current frontier.
+    """
+
+    def __init__(self, objectives=("seconds", "energy_joules")):
+        self.objectives = tuple(objectives)
+        self._points: List = []
+        self._values: List[np.ndarray] = []
+        self.offered = 0
+
+    def _objective_values(self, point):
+        return np.array(
+            [getattr(point, obj) for obj in self.objectives], dtype=np.float64
+        )
+
+    def offer(self, point) -> bool:
+        """Add ``point`` if currently non-dominated; returns whether kept.
+
+        A newly-kept point evicts any frontier members it dominates.
+        """
+        self.offered += 1
+        value = self._objective_values(point)
+        if self._values:
+            values = np.vstack(self._values)
+            less_eq = (values <= value).all(axis=1)
+            strictly = (values < value).any(axis=1)
+            if (less_eq & strictly).any():
+                return False
+            dominated = ((value <= values).all(axis=1)
+                         & (value < values).any(axis=1))
+            if dominated.any():
+                keep = ~dominated
+                self._points = [
+                    p for p, k in zip(self._points, keep) if k
+                ]
+                self._values = [
+                    v for v, k in zip(self._values, keep) if k
+                ]
+        self._points.append(point)
+        self._values.append(value)
+        return True
+
+    def update(self, points: Iterable) -> "ParetoFront":
+        """Offer every point of an iterable (draining it); returns self."""
+        for point in points:
+            self.offer(point)
+        return self
+
+    @property
+    def points(self) -> List:
+        """Current frontier, in first-seen order."""
+        return list(self._points)
+
+    def __len__(self):
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+
+def _resolve_grid(grid):
+    if not grid:
+        raise ValueError("empty DSE grid")
+    names = sorted(grid)
+    return names, product(*(grid[n] for n in names))
+
+
+def _chunked(iterable, size):
+    """Yield lists of up to ``size`` items."""
+    iterator = iter(iterable)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+#: Grid points bundled per parallel task: large enough to amortise the
+#: per-task workload pickle, small enough to keep the stream responsive.
+_STREAM_CHUNK = 16
+
+
+def _iter_indexed_points(workload, grid, base_config, n_jobs,
+                         chunksize=None) -> Iterator[tuple]:
+    """Yield ``(grid_index, DesignPoint)`` pairs, lazily.
+
+    Serial runs walk the cross-product in grid order without materialising
+    it.  Parallel runs keep at most ``2 * n_jobs`` chunks in flight and
+    yield chunks as they complete (so indices may arrive out of order —
+    that IS the streaming contract; sort by index to recover grid order).
+    Only pool *creation* may fall back to threads (sandboxes without
+    process/semaphore support); failures during evaluation — including
+    BrokenProcessPool — propagate.
+    """
+    base_config = base_config or VITCOD_DEFAULT
+    names, combos = _resolve_grid(grid)
+    indexed = enumerate(combos)
+    if n_jobs is None:
+        n_jobs = os.cpu_count() or 1
+    n_jobs = max(1, int(n_jobs))
+    if n_jobs == 1:
+        for index, values in indexed:
+            yield index, _evaluate_design_point(
+                workload, base_config, names, values
+            )
+        return
+    chunks = _chunked(indexed, chunksize or _STREAM_CHUNK)
+    try:
+        pool = ProcessPoolExecutor(max_workers=n_jobs)
+    except OSError:
+        pool = ThreadPoolExecutor(max_workers=n_jobs)
+    try:
+        pending = set()
+        for chunk in islice(chunks, 2 * n_jobs):
+            pending.add(
+                pool.submit(_evaluate_chunk, workload, base_config, names, chunk)
+            )
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk = next(chunks, None)
+                if chunk is not None:
+                    pending.add(
+                        pool.submit(_evaluate_chunk, workload, base_config,
+                                    names, chunk)
+                    )
+                yield from future.result()
+        pool.shutdown(wait=True)
+    finally:
+        # An abandoned stream (consumer stopped early) must not block on
+        # the in-flight chunks: cancel what hasn't started and return
+        # without waiting for what has.
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
+                      base_config: HardwareConfig = None, n_jobs: int = 1,
+                      frontier: ParetoFront = None) -> Iterator[DesignPoint]:
+    """Stream the grid cross-product: yield each :class:`DesignPoint` as it
+    completes, never materialising the full grid.
+
+    ``n_jobs > 1`` (or ``None`` for one per CPU) fans chunks of points
+    across worker processes and yields them ``as_completed`` — out of grid
+    order, but the multiset of points is exactly the eager sweep's.  With
+    ``n_jobs == 1`` points arrive in grid order, lazily.
+
+    Pass a :class:`ParetoFront` as ``frontier`` for incremental pruning:
+    only points non-dominated *at the time they arrive* are yielded, and
+    after the stream is drained ``frontier.points`` is exactly
+    :func:`pareto_frontier` of the whole grid.
+
+    Example
+    -------
+    >>> front = ParetoFront()
+    >>> for point in iter_design_space(workload, grid, frontier=front):
+    ...     print("candidate", point.parameters)   # prefix-frontier points
+    >>> best = front.points                        # exact final frontier
+    """
+    stream = _iter_indexed_points(workload, grid, base_config, n_jobs)
+    for _, point in stream:
+        if frontier is not None and not frontier.offer(point):
+            continue
+        yield point
+
+
 def sweep_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
                        base_config: HardwareConfig = None,
                        n_jobs: int = 1) -> List[DesignPoint]:
-    """Evaluate the cross product of ``grid`` on ``workload``.
+    """Evaluate the cross product of ``grid`` on ``workload``, eagerly.
 
-    ``n_jobs`` fans grid points across worker processes (``None`` means one
-    per CPU); results are returned in grid order regardless, and a parallel
-    sweep returns exactly what the serial sweep would.  Worker processes
-    fall back to threads where process pools are unavailable (restricted
-    sandboxes).
+    A drained, re-ordered :func:`iter_design_space`: ``n_jobs`` fans grid
+    points across worker processes (``None`` means one per CPU); results
+    are returned in grid order regardless, and a parallel sweep returns
+    exactly what the serial sweep would.
 
     Example
     -------
     >>> grid = {"mac_lines": [32, 64, 128], "ae_compression": [None, 0.5]}
     >>> points = sweep_design_space(workload, grid, n_jobs=4)
     """
-    base_config = base_config or VITCOD_DEFAULT
     if not grid:
         raise ValueError("empty DSE grid")
-    names = sorted(grid)
-    combos = list(product(*(grid[n] for n in names)))
+    # Normalise once: the grid is resolved both here (for sizing/ordering)
+    # and inside the streaming engine, so one-shot iterables must not be
+    # consumed twice.
+    grid = {name: tuple(values) for name, values in grid.items()}
+    names, combos = _resolve_grid(grid)
+    combos = list(combos)
     if n_jobs is None:
         n_jobs = os.cpu_count() or 1
     n_jobs = max(1, min(int(n_jobs), len(combos)))
-    evaluate = partial(_evaluate_design_point, workload, base_config, names)
-    if n_jobs == 1:
-        return [evaluate(values) for values in combos]
-    # One chunk per worker: the workload is pickled once per chunk, not per
-    # point, and map() preserves submission order.  Only pool *creation* may
-    # fall back to threads (sandboxes without process/semaphore support);
-    # failures during evaluation — including BrokenProcessPool — propagate.
-    chunksize = -(-len(combos) // n_jobs)
-    try:
-        pool = ProcessPoolExecutor(max_workers=n_jobs)
-    except OSError:
-        with ThreadPoolExecutor(max_workers=n_jobs) as pool:
-            return list(pool.map(evaluate, combos))
-    with pool:
-        return list(pool.map(evaluate, combos, chunksize=chunksize))
+    # One chunk per worker (the historical sweep batching): the workload is
+    # pickled once per chunk and every worker gets one task.
+    chunksize = -(-len(combos) // n_jobs) if combos else 1
+    indexed = _iter_indexed_points(workload, grid, base_config, n_jobs,
+                                   chunksize=chunksize)
+    points: List[DesignPoint] = [None] * len(combos)
+    for index, point in indexed:
+        points[index] = point
+    return points
 
 
 def _pareto_mask_sorted_2d(values: np.ndarray) -> np.ndarray:

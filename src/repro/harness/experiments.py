@@ -18,6 +18,7 @@ from ..baselines import (
     gpu_platform,
 )
 from ..hw import (
+    CycleAccurateSimulator,
     ViTCoDAccelerator,
     attention_workload_from_masks,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "fig15_speedups",
     "fig17_accuracy_latency",
     "fig19_breakdown_energy",
+    "cycle_per_layer_breakdown",
     "table1_taxonomy",
     "ablation_prune_reorder",
     "nlp_comparison",
@@ -316,6 +318,42 @@ def fig19_breakdown_energy(models=DEFAULT_MODELS, sparsities=(0.6, 0.7, 0.8, 0.9
         / mean_latency["vitcod"],
         "energy_efficiency_vs_sanger": mean_energy["sanger"]
         / mean_energy["vitcod"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 4-style layer-resolved view from the event-driven simulator
+# ----------------------------------------------------------------------
+def cycle_per_layer_breakdown(model="deit-base", sparsity=0.9, seed=0,
+                              engine="vectorized"):
+    """Per-layer makespans and utilizations from ONE batched whole-model
+    cycle-simulation (``CycleSimResult.per_layer``), Fig. 4-breakdown style.
+
+    The batched engine simulates all layers in a single array pipeline and
+    still exposes the layer-resolved schedule, so the layer profile costs
+    no more than the headline whole-model number.
+    """
+    wl = model_workload(get_config(model), sparsity=sparsity, seed=seed)
+    total = CycleAccurateSimulator(engine=engine).simulate_attention(wl)
+    layers = [
+        {
+            "layer": i,
+            "makespan": r.makespan,
+            "sddmm_makespan": r.sddmm_makespan,
+            "spmm_makespan": r.spmm_makespan,
+            "denser_utilization": r.denser_utilization,
+            "sparser_utilization": r.sparser_utilization,
+            "dram_utilization": r.dram_utilization,
+            "makespan_fraction": (r.makespan / total.makespan
+                                  if total.makespan else 0.0),
+        }
+        for i, r in enumerate(total.per_layer)
+    ]
+    return {
+        "model": model,
+        "sparsity": sparsity,
+        "total_makespan": total.makespan,
+        "layers": layers,
     }
 
 

@@ -3,6 +3,7 @@
 from .params import EnergyTable, HardwareConfig, VITCOD_DEFAULT
 from .workload import (
     HeadWorkload,
+    HeadStatArrays,
     AttentionWorkload,
     GemmWorkload,
     ModelWorkload,
@@ -19,16 +20,22 @@ from .dataflow import (
     dense_gemm_cycles,
     softmax_cycles,
 )
-from .allocator import Allocation, allocate_mac_lines
+from .allocator import Allocation, allocate_mac_lines, allocate_mac_lines_batched
 from .accelerator import ViTCoDAccelerator
 from .dram import DramModel, DramRequest
-from .cycle_sim import CycleAccurateSimulator, CycleSimResult, Timeline
+from .cycle_sim import (
+    CycleAccurateSimulator,
+    CycleSimResult,
+    Timeline,
+    merge_cycle_results,
+)
 
 __all__ = [
     "EnergyTable",
     "HardwareConfig",
     "VITCOD_DEFAULT",
     "HeadWorkload",
+    "HeadStatArrays",
     "AttentionWorkload",
     "GemmWorkload",
     "ModelWorkload",
@@ -46,10 +53,12 @@ __all__ = [
     "softmax_cycles",
     "Allocation",
     "allocate_mac_lines",
+    "allocate_mac_lines_batched",
     "ViTCoDAccelerator",
     "DramModel",
     "DramRequest",
     "CycleAccurateSimulator",
     "CycleSimResult",
     "Timeline",
+    "merge_cycle_results",
 ]

@@ -18,6 +18,15 @@ Key modelled mechanisms, each traceable to the paper:
 * on-chip encoder/decoder engines whose MAC lines are borrowed from the
   array while active and returned otherwise (§V-B.2);
 * output-stationary SpMM keeping V′ in PE registers (Fig. 13b).
+
+Whole-model simulation (the paper's headline Fig. 15/19 numbers) runs
+through the :mod:`repro.sim` engine layer.  By default (``batched=True``)
+``simulate_attention`` / ``simulate_model`` evaluate every layer and GEMM
+as batched array geometry — per-layer statistics become parallel numpy
+arrays and the phase algebra runs elementwise, mirroring the scalar
+per-layer expressions operation for operation so the batched totals equal
+the per-layer fold bit for bit.  ``batched=False`` keeps the per-layer
+fold of :class:`~repro.sim.ModelSimulatorBase` as the executable reference.
 """
 
 from __future__ import annotations
@@ -25,7 +34,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
-from .allocator import allocate_mac_lines
+import numpy as np
+
+from ..sim.engine import ModelSimulatorBase
+from .allocator import allocate_mac_lines, allocate_mac_lines_batched
 from .dataflow import (
     dense_gemm_cycles,
     k_stationary_sddmm_cycles,
@@ -40,8 +52,22 @@ from .workload import AttentionWorkload, GemmWorkload, ModelWorkload
 __all__ = ["ViTCoDAccelerator"]
 
 
+def _ordered_sum(values, init=0.0):
+    """Left-to-right fold of ``values`` starting at ``init``.
+
+    Merging per-layer reports folds each latency/energy component left to
+    right; the batched paths reduce their per-layer arrays the same way so
+    batched and per-layer results agree bit for bit (``np.sum``'s pairwise
+    association would not).
+    """
+    total = init
+    for value in values.tolist():
+        total += value
+    return total
+
+
 @dataclass
-class ViTCoDAccelerator:
+class ViTCoDAccelerator(ModelSimulatorBase):
     """Configurable ViTCoD design point.
 
     Parameters
@@ -58,6 +84,10 @@ class ViTCoDAccelerator:
         ``False`` serialises both workloads on the full array (ablation).
     dataflow:
         ``"k_stationary"`` (paper's choice) or ``"s_stationary"`` (ablation).
+    batched:
+        Evaluate whole models as batched array geometry (default); set
+        ``False`` for the per-layer reference fold.  Both produce identical
+        reports.
     enc_dec_lines:
         MAC lines reserved for the decoder while Q/K stream in.
     """
@@ -71,6 +101,7 @@ class ViTCoDAccelerator:
     #: fetches served from the denser engine's resident Q buffer (§V-B.1).
     q_forwarding_hit_rate: float = 0.3
     name: str = "ViTCoD"
+    batched: bool = True
     #: DRAM row-miss amplification applied to scattered fetches when no
     #: streaming fallback exists (unreordered masks); see repro.hw.dram.
     _scatter_amplification: float = 1.0
@@ -147,8 +178,9 @@ class ViTCoDAccelerator:
         memory_cycles = sddmm_dram / bpc
 
         compute_lines = cfg.num_mac_lines
-        denser_products = sum(h.num_global_tokens * h.num_tokens for h in layer.heads)
-        sparser_products = sum(h.sparser_nnz for h in layer.heads)
+        stats = layer.head_stats()
+        denser_products = int((stats.global_tokens * stats.tokens).sum())
+        sparser_products = int(stats.sparser_nnz.sum())
         denser_macs = denser_products * dk
         sparser_macs = sparser_products * dk
 
@@ -246,13 +278,11 @@ class ViTCoDAccelerator:
     def _s_stationary_pack_efficiency(self, layer):
         """Packing efficiency of a rigid spatial array on this mask (the
         fraction of PE slots holding real non-zeros after row packing)."""
-        rows = 0
-        slots = 0
         width = self.config.macs_per_line * 2
-        for head in layer.heads:
-            per_row = head.total_nnz / head.num_tokens
-            rows += head.num_tokens
-            slots += ceil(max(per_row, 1) / width) * width * head.num_tokens
+        stats = layer.head_stats()
+        per_row = (stats.denser_nnz + stats.sparser_nnz) / stats.tokens
+        slot_rows = np.ceil(np.maximum(per_row, 1) / width) * width
+        slots = int((slot_rows * stats.tokens).sum())
         nnz = layer.total_nnz
         return min(1.0, max(nnz / slots, 0.05)) if slots else 1.0
 
@@ -291,30 +321,254 @@ class ViTCoDAccelerator:
         )
 
     # ------------------------------------------------------------------
-    # Whole models
+    # Whole models (repro.sim surface)
     # ------------------------------------------------------------------
-    def simulate_attention(self, model: ModelWorkload) -> SimReport:
-        """Core attention workload only (paper Fig. 15a / Fig. 19)."""
-        report = None
-        for layer in model.attention_layers:
-            r = self.simulate_attention_layer(layer)
-            report = r if report is None else report.merged(r)
-        report.workload = f"{model.name}:attention"
-        report.details = {"layers": len(model.attention_layers)}
-        return report
+    def _attention_details(self, model):
+        return {"layers": len(model.attention_layers)}
 
-    def simulate_model(self, model: ModelWorkload) -> SimReport:
-        """End-to-end simulation (attention + all dense layers, Fig. 15b)."""
-        report = self.simulate_attention(model)
-        for gemm in model.linear_layers:
-            compress = gemm.name.endswith(".qkv")
-            report = report.merged(self.simulate_gemm(gemm, compress_output=compress))
-        report.workload = f"{model.name}:end2end"
-        report.details = {
+    def _model_details(self, model):
+        return {
             "attention_layers": len(model.attention_layers),
             "linear_layers": len(model.linear_layers),
         }
-        return report
+
+    def _gemm_kwargs(self, gemm):
+        return {"compress_output": gemm.name.endswith(".qkv")}
+
+    def simulate_attention(self, model: ModelWorkload) -> SimReport:
+        """Core attention workload only (paper Fig. 15a / Fig. 19)."""
+        if not self.batched:
+            return super().simulate_attention(model)
+        layers = model.attention_layers
+        if not layers:
+            raise ValueError(
+                f"{self.name}: model {model.name!r} has no attention layers"
+            )
+        latency, energy = self._attention_phase_arrays(layers)
+        return SimReport(
+            platform=self.name,
+            workload=f"{model.name}:attention",
+            latency=latency,
+            energy=energy,
+            frequency_hz=self.config.frequency_hz,
+            details=self._attention_details(model),
+        )
+
+    def simulate_model(self, model: ModelWorkload) -> SimReport:
+        """End-to-end simulation (attention + all dense layers, Fig. 15b)."""
+        if not self.batched:
+            return super().simulate_model(model)
+        report = self.simulate_attention(model)
+        latency, energy = self._gemm_phase_arrays(
+            model.linear_layers, report.latency, report.energy
+        )
+        return SimReport(
+            platform=self.name,
+            workload=f"{model.name}:end2end",
+            latency=latency,
+            energy=energy,
+            frequency_hz=self.config.frequency_hz,
+            details=self._model_details(model),
+        )
+
+    # ------------------------------------------------------------------
+    # Batched array geometry
+    # ------------------------------------------------------------------
+    def _attention_phase_arrays(self, layers):
+        """Every attention layer's phase algebra as elementwise arrays.
+
+        Each expression mirrors :meth:`simulate_attention_layer` operation
+        for operation (same IEEE ops on the same values), and the per-layer
+        arrays fold left-to-right like ``SimReport.merged`` — so the totals
+        are bit-for-bit those of the per-layer loop.
+        """
+        cfg = self.config
+        b = cfg.bytes_per_element
+        bpc = cfg.bytes_per_cycle
+        mpl = cfg.macs_per_line
+        ratio = self.ae_compression if self.use_ae else 1.0
+        compute_lines = cfg.num_mac_lines
+
+        n = np.array([l.num_tokens for l in layers], dtype=np.int64)
+        H = np.array([l.num_heads for l in layers], dtype=np.int64)
+        dk = np.array([l.head_dim for l in layers], dtype=np.int64)
+        d = H * dk  # embed_dim
+        idx_bytes = np.array([l.index_bytes() for l in layers], dtype=np.int64)
+        scattered = np.array([l.scattered_nnz for l in layers], dtype=np.int64)
+        total_nnz = np.array([l.total_nnz for l in layers], dtype=np.int64)
+        spmm_macs = np.array([l.spmm_macs for l in layers], dtype=np.int64)
+        fallback = np.array([l.streaming_fallback for l in layers], dtype=bool)
+        denser_products = np.array(
+            [int((s.global_tokens * s.tokens).sum())
+             for s in (l.head_stats() for l in layers)], dtype=np.int64,
+        )
+        sparser_products = np.array(
+            [int(l.head_stats().sparser_nnz.sum()) for l in layers],
+            dtype=np.int64,
+        )
+
+        # ---------------- preprocess ------------------------------------
+        preprocess = idx_bytes / bpc
+
+        # ---------------- SDDMM phase -----------------------------------
+        tensor_bytes = n * d * b
+        k_window_bytes = cfg.act_buffer_bytes / 2
+        k_tiles = np.maximum(1, np.ceil(tensor_bytes * ratio / k_window_bytes))
+        stream_bytes = tensor_bytes * ratio * (1 + k_tiles)
+        fwd = self.q_forwarding_hit_rate if self.two_pronged else 0.0
+        scatter_raw = scattered * dk * b * ratio * (1.0 - fwd)
+        scatter_bytes = np.where(
+            fallback,
+            np.minimum(scatter_raw, tensor_bytes * ratio),
+            scatter_raw * self._scatter_amplification,
+        )
+        sddmm_dram = stream_bytes + scatter_bytes
+        decode_macs = (np.trunc(sddmm_dram / b) * H if self.use_ae
+                       else np.zeros(len(layers)))
+        memory_cycles = sddmm_dram / bpc
+
+        denser_macs = denser_products * dk
+        sparser_macs = sparser_products * dk
+        cycles_per_wave = np.ceil(dk / mpl)
+
+        if self.dataflow == "s_stationary":
+            eff = np.array(
+                [self._s_stationary_pack_efficiency(l) for l in layers]
+            )
+            effective = (compute_lines * mpl) * eff
+            products = denser_products + sparser_products
+            sddmm_compute = np.where(
+                products > 0, np.ceil(products / effective) * dk, 0.0
+            )
+        elif self.two_pronged:
+            d_lines, s_lines = allocate_mac_lines_batched(
+                compute_lines, denser_macs, sparser_macs
+            )
+            denser_cycles = np.where(
+                denser_products > 0,
+                np.ceil(denser_products / np.maximum(d_lines, 1))
+                * cycles_per_wave,
+                0.0,
+            )
+            sparser_cycles = np.where(
+                sparser_products > 0,
+                np.ceil(sparser_products / np.maximum(s_lines, 1))
+                * cycles_per_wave,
+                0.0,
+            )
+            sddmm_compute = np.maximum(denser_cycles, sparser_cycles)
+        else:
+            cv = np.array([l.column_cv() for l in layers])
+            single_util = 0.9 / (1.0 + 0.3 * cv)
+            serial = (
+                np.where(denser_products > 0,
+                         np.ceil(denser_products / compute_lines)
+                         * cycles_per_wave, 0.0)
+                + np.where(sparser_products > 0,
+                           np.ceil(sparser_products / compute_lines)
+                           * cycles_per_wave, 0.0)
+            )
+            sddmm_compute = np.ceil(serial / np.maximum(single_util, 0.1))
+
+        phase = np.maximum(sddmm_compute, memory_cycles)
+
+        # ---------------- SpMM phase ------------------------------------
+        spmm_scatter_raw = scattered * dk * b
+        spmm_scatter = np.where(
+            fallback,
+            np.minimum(spmm_scatter_raw, tensor_bytes),
+            spmm_scatter_raw * self._scatter_amplification,
+        )
+        spmm_dram = 2 * tensor_bytes + spmm_scatter
+        spmm_compute = np.where(
+            total_nnz > 0,
+            np.ceil(total_nnz / compute_lines) * cycles_per_wave,
+            0.0,
+        )
+        spmm_phase = np.maximum(spmm_compute, spmm_dram / bpc)
+
+        # ---------------- softmax ---------------------------------------
+        sm_cycles = np.ceil((total_nnz + 2 * (n * H)) / cfg.softmax_lanes)
+        sm_extra = np.maximum(0.0, sm_cycles - (phase + spmm_phase))
+
+        compute = sddmm_compute + spmm_compute + sm_extra
+        data_movement = (phase - sddmm_compute) + (spmm_phase - spmm_compute)
+        latency = LatencyBreakdown(
+            compute=_ordered_sum(compute),
+            preprocess=_ordered_sum(preprocess),
+            data_movement=_ordered_sum(data_movement),
+        )
+
+        mac_count = denser_macs + sparser_macs + decode_macs + spmm_macs
+        dram_bytes = idx_bytes + sddmm_dram + spmm_dram
+        cycles = (compute + preprocess) + data_movement
+        e = cfg.energy
+        energy = EnergyBreakdown(
+            mac=_ordered_sum(mac_count * e.mac_pj),
+            sram=_ordered_sum(
+                (2 * dram_bytes + mac_count * b / 4) * e.sram_byte_pj
+            ),
+            dram=_ordered_sum(dram_bytes * e.dram_byte_pj),
+            other=_ordered_sum(total_nnz * e.softmax_op_pj),
+            static=_ordered_sum(cycles * e.static_pj_per_cycle),
+        )
+        return latency, energy
+
+    def _gemm_phase_arrays(self, gemms, base_latency, base_energy):
+        """The dense-layer walk as arrays, folded onto the attention totals
+        exactly as the per-GEMM ``merged`` chain would."""
+        cfg = self.config
+        b = cfg.bytes_per_element
+        if not gemms:
+            return base_latency, base_energy
+        m = np.array([g.m for g in gemms], dtype=np.int64)
+        k = np.array([g.k for g in gemms], dtype=np.int64)
+        nn = np.array([g.n for g in gemms], dtype=np.int64)
+        compress = np.array(
+            [self._gemm_kwargs(g).get("compress_output", False)
+             for g in gemms], dtype=bool,
+        )
+
+        macs = m * k * nn
+        compute = np.where(
+            macs > 0, np.ceil(macs / (cfg.total_macs * 0.85)), 0.0
+        )
+        if self.use_ae:
+            out_ratio = np.where(
+                compress, (2 * self.ae_compression + 1) / 3, 1.0
+            )
+            encode_macs = np.where(
+                compress, np.trunc(m * nn * (2 / 3) * self.ae_compression), 0.0
+            )
+        else:
+            out_ratio = np.ones(len(gemms))
+            encode_macs = np.zeros(len(gemms))
+
+        traffic = k * nn * b + m * k * b + m * nn * b * out_ratio
+        phase = np.maximum(compute, traffic / cfg.bytes_per_cycle)
+        data_movement = phase - compute
+
+        latency = LatencyBreakdown(
+            compute=_ordered_sum(compute, base_latency.compute),
+            preprocess=base_latency.preprocess,
+            data_movement=_ordered_sum(data_movement, base_latency.data_movement),
+        )
+        total_macs = macs + encode_macs
+        cycles = (compute + 0.0) + data_movement
+        e = cfg.energy
+        energy = EnergyBreakdown(
+            mac=_ordered_sum(total_macs * e.mac_pj, base_energy.mac),
+            sram=_ordered_sum(
+                (2 * traffic + total_macs * b / 4) * e.sram_byte_pj,
+                base_energy.sram,
+            ),
+            dram=_ordered_sum(traffic * e.dram_byte_pj, base_energy.dram),
+            other=base_energy.other,
+            static=_ordered_sum(
+                cycles * e.static_pj_per_cycle, base_energy.static
+            ),
+        )
+        return latency, energy
 
     # ------------------------------------------------------------------
     def _charge_energy(self, energy, macs, dram_bytes, cycles):

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Allocation", "allocate_mac_lines"]
+import numpy as np
+
+__all__ = ["Allocation", "allocate_mac_lines", "allocate_mac_lines_batched"]
 
 
 @dataclass(frozen=True)
@@ -45,3 +47,48 @@ def allocate_mac_lines(total_lines, denser_macs, sparser_macs, reserve_min=1):
     denser = round(total_lines * denser_macs / (denser_macs + sparser_macs))
     denser = min(max(denser, reserve_min), total_lines - reserve_min)
     return Allocation(denser_lines=denser, sparser_lines=total_lines - denser)
+
+
+def allocate_mac_lines_batched(total_lines, denser_macs, sparser_macs,
+                               reserve_min=1):
+    """Vectorized :func:`allocate_mac_lines` over parallel workload arrays.
+
+    Returns ``(denser_lines, sparser_lines)`` int64 arrays; element ``i``
+    equals ``allocate_mac_lines(total_lines, denser_macs[i],
+    sparser_macs[i])`` exactly (``np.round`` matches :func:`round`'s
+    half-to-even on the proportional split).
+    """
+    if total_lines < 2:
+        raise ValueError("need at least 2 MAC lines to allocate")
+    denser_macs = np.asarray(denser_macs, dtype=np.int64)
+    sparser_macs = np.asarray(sparser_macs, dtype=np.int64)
+    if (denser_macs < 0).any() or (sparser_macs < 0).any():
+        raise ValueError("workload sizes must be non-negative")
+
+    # The vectorized split needs total_lines * denser_macs exact in int64
+    # and both division operands exact in float64; beyond 2**53 numpy's
+    # int64 product / float64 conversion would round (or overflow) where
+    # Python's big-int arithmetic stays exact, so defer to the scalar
+    # allocator for such (far beyond paper-scale) workloads.
+    exact_limit = float(2 ** 53)
+    if denser_macs.size and (
+        float(denser_macs.max()) * total_lines >= exact_limit
+        or float(denser_macs.max()) + float(sparser_macs.max()) >= exact_limit
+    ):
+        pairs = [
+            allocate_mac_lines(total_lines, int(d), int(s), reserve_min)
+            for d, s in zip(denser_macs, sparser_macs)
+        ]
+        return (np.array([p.denser_lines for p in pairs], dtype=np.int64),
+                np.array([p.sparser_lines for p in pairs], dtype=np.int64))
+
+    total_macs = denser_macs + sparser_macs
+    with np.errstate(invalid="ignore", divide="ignore"):
+        share = np.round(total_lines * denser_macs / total_macs)
+    share = np.clip(share, reserve_min, total_lines - reserve_min)
+    share = np.where(total_macs == 0, float(total_lines // 2), share)
+    share = np.where((sparser_macs == 0) & (total_macs > 0),
+                     float(total_lines), share)
+    share = np.where((denser_macs == 0) & (total_macs > 0), 0.0, share)
+    denser_lines = share.astype(np.int64)
+    return denser_lines, total_lines - denser_lines

@@ -44,18 +44,20 @@ scan and the loop agree bit-for-bit regardless of association order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from math import ceil
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..sim.engine import AttentionSimulatorBase, merge_results
 from .allocator import allocate_mac_lines
 from .dram import DramModel, DramRequest
 from .params import VITCOD_DEFAULT, HardwareConfig
-from .workload import AttentionWorkload, split_remainder
+from .workload import AttentionWorkload, ModelWorkload, split_remainder
 
-__all__ = ["Timeline", "EngineSchedule", "CycleSimResult", "CycleAccurateSimulator"]
+__all__ = ["Timeline", "EngineSchedule", "CycleSimResult",
+           "CycleAccurateSimulator", "merge_cycle_results"]
 
 #: Durations are quantized to multiples of ``1 / _TIME_SCALE`` cycles so the
 #: event algebra is exact in double precision (see module docstring).
@@ -81,6 +83,54 @@ def _queue_scan(request_times, durations, init=0.0):
     total = np.cumsum(durations)
     slack = np.asarray(request_times, dtype=np.float64) - (total - durations)
     return total + np.maximum(np.maximum.accumulate(slack), init)
+
+
+def _queue_scan_rows(request_times, durations, init):
+    """Row-wise :func:`_queue_scan`: one independent FCFS queue per row.
+
+    Running the cumulative sums and maxima along ``axis=1`` restarts the
+    recurrence at every row — rows are the batched engine's per-layer reset
+    points.  ``init`` broadcasts per row (shape ``(rows, 1)``).
+    """
+    if durations.shape[1] == 0:
+        return durations
+    total = np.cumsum(durations, axis=1)
+    slack = request_times - (total - durations)
+    return total + np.maximum(np.maximum.accumulate(slack, axis=1), init)
+
+
+def _pad_rows(arrays):
+    """Stack variable-length int64 job arrays into a zero-padded matrix.
+
+    Returns ``(matrix, lengths)``; zero products mean zero-duration jobs,
+    so padded slots are inert in every duration computation.
+    """
+    lengths = np.array([a.size for a in arrays], dtype=np.int64)
+    width = int(lengths.max()) if lengths.size else 0
+    matrix = np.zeros((len(arrays), width), dtype=np.int64)
+    for i, a in enumerate(arrays):
+        matrix[i, : a.size] = a
+    return matrix, lengths
+
+
+def _masked_load_times(base, step, lengths, width):
+    """Per-row load-completion ladders ``base + step * (1..width)``.
+
+    Slots at or beyond a row's length get ``-inf`` request times: combined
+    with their zero durations they can never raise a row's running
+    max-plus state, so padding is invisible to the scans.
+    """
+    ladder = base[:, None] + step[:, None] * np.arange(1, width + 1)
+    ladder[np.arange(width)[None, :] >= lengths[:, None]] = -np.inf
+    return ladder
+
+
+def _row_finals(values, lengths):
+    """Last real (unpadded) value of each row; 0.0 for empty rows."""
+    if values.shape[1] == 0:
+        return np.zeros(lengths.size)
+    picked = values[np.arange(lengths.size), np.maximum(lengths - 1, 0)]
+    return np.where(lengths > 0, picked, 0.0)
 
 
 @dataclass
@@ -138,7 +188,13 @@ class EngineSchedule:
 
 @dataclass
 class CycleSimResult:
-    """Outcome of one event-driven layer simulation."""
+    """Outcome of one event-driven simulation (a layer or a whole model).
+
+    Whole-model results additionally carry the per-layer breakdown in
+    ``per_layer`` (one single-layer :class:`CycleSimResult` per attention
+    layer, in layer order) so figure runners can plot layer-resolved
+    makespans/utilizations from one batched run.
+    """
 
     makespan: float
     sddmm_makespan: float
@@ -148,6 +204,7 @@ class CycleSimResult:
     dram_busy: float
     softmax_busy: float
     jobs_executed: int
+    per_layer: Tuple["CycleSimResult", ...] = ()
 
     @property
     def denser_utilization(self):
@@ -161,8 +218,40 @@ class CycleSimResult:
     def dram_utilization(self):
         return self.dram_busy / self.makespan if self.makespan else 0.0
 
+    def _layers(self):
+        """This result as a tuple of single-layer results."""
+        return self.per_layer if self.per_layer else (self,)
 
-class CycleAccurateSimulator:
+    def merged(self, other: "CycleSimResult") -> "CycleSimResult":
+        """Concatenate two sequential results (mirrors ``SimReport.merged``):
+        totals add, ``per_layer`` chains both sides' layer breakdowns."""
+        return CycleSimResult(
+            makespan=self.makespan + other.makespan,
+            sddmm_makespan=self.sddmm_makespan + other.sddmm_makespan,
+            spmm_makespan=self.spmm_makespan + other.spmm_makespan,
+            denser_busy=self.denser_busy + other.denser_busy,
+            sparser_busy=self.sparser_busy + other.sparser_busy,
+            dram_busy=self.dram_busy + other.dram_busy,
+            softmax_busy=self.softmax_busy + other.softmax_busy,
+            jobs_executed=self.jobs_executed + other.jobs_executed,
+            per_layer=self._layers() + other._layers(),
+        )
+
+
+def merge_cycle_results(results) -> CycleSimResult:
+    """Fold per-layer results into one whole-model :class:`CycleSimResult`.
+
+    Raises :class:`ValueError` on an empty sequence; the merged result
+    always exposes ``per_layer`` (even for a single layer).
+    """
+    results = list(results)
+    total = merge_results(results, "no attention layers to simulate")
+    if len(results) == 1:
+        total = replace(total, per_layer=(results[0],))
+    return total
+
+
+class CycleAccurateSimulator(AttentionSimulatorBase):
     """Event-driven companion to :class:`ViTCoDAccelerator`.
 
     Parameters
@@ -174,12 +263,16 @@ class CycleAccurateSimulator:
     dram:
         Optional custom :class:`DramModel` (burst/row-buffer behaviour).
     engine:
-        ``"vectorized"`` (default) runs the numpy scan scheduler;
-        ``"scalar"`` runs the reference per-job event loop.  Both produce
-        identical :class:`CycleSimResult` values.
+        ``"vectorized"`` (default) runs the numpy scan scheduler; for
+        whole-model runs it batches every layer into one 2-D scan (rows are
+        the per-layer reset points).  ``"scalar"`` runs the reference
+        per-job event loop, layer by layer.  Both produce identical
+        :class:`CycleSimResult` values.
     """
 
     _ENGINES = ("vectorized", "scalar")
+
+    name = "CycleSim"
 
     def __init__(self, config: Optional[HardwareConfig] = None, use_ae=True,
                  ae_compression=0.5, dram: Optional[DramModel] = None,
@@ -239,25 +332,12 @@ class CycleAccurateSimulator:
         """Per-column SDDMM products for both engines as int64 arrays.
 
         Mirrors :meth:`_build_jobs` (same job order, zero-product sparser
-        columns dropped) without materialising per-job objects.
+        columns dropped) without materialising per-job objects; the arrays
+        are memoized on the (frozen) workload so repeated simulations of a
+        cached workload — DSE sweeps, benchmark repeats — skip the
+        per-head walk entirely.
         """
-        tokens = np.array([h.num_tokens for h in layer.heads], dtype=np.int64)
-        globals_ = np.array(
-            [h.num_global_tokens for h in layer.heads], dtype=np.int64
-        )
-        denser = np.repeat(tokens, globals_)
-        sparser_parts = []
-        for head in layer.heads:
-            col_nnz = head.sparser_column_nnz
-            if col_nnz is None:
-                col_nnz = split_remainder(
-                    head.sparser_nnz, head.num_tokens - head.num_global_tokens
-                )
-            col_nnz = np.asarray(col_nnz, dtype=np.int64)
-            sparser_parts.append(col_nnz[col_nnz > 0])
-        sparser = (np.concatenate(sparser_parts) if sparser_parts
-                   else np.zeros(0, dtype=np.int64))
-        return denser, sparser
+        return layer.denser_job_products(), layer.sparser_job_products()
 
     def _run_engine(self, engine: EngineSchedule, dram: Timeline,
                     softmax: Timeline, head_dim, start_time=0.0):
@@ -423,24 +503,127 @@ class CycleAccurateSimulator:
             jobs_executed=n_d + n_s + 2,
         )
 
-    def simulate_attention(self, layers) -> CycleSimResult:
-        """Simulate a sequence of layers (e.g. ``ModelWorkload.attention_layers``)."""
-        totals = None
-        for layer in layers:
-            r = self.simulate_layer(layer)
-            if totals is None:
-                totals = r
-            else:
-                totals = CycleSimResult(
-                    makespan=totals.makespan + r.makespan,
-                    sddmm_makespan=totals.sddmm_makespan + r.sddmm_makespan,
-                    spmm_makespan=totals.spmm_makespan + r.spmm_makespan,
-                    denser_busy=totals.denser_busy + r.denser_busy,
-                    sparser_busy=totals.sparser_busy + r.sparser_busy,
-                    dram_busy=totals.dram_busy + r.dram_busy,
-                    softmax_busy=totals.softmax_busy + r.softmax_busy,
-                    jobs_executed=totals.jobs_executed + r.jobs_executed,
-                )
-        if totals is None:
-            raise ValueError("no layers to simulate")
-        return totals
+    # Conform to the :mod:`repro.sim` per-layer naming.
+    simulate_attention_layer = simulate_layer
+
+    def simulate_attention(self, model) -> CycleSimResult:
+        """Simulate a whole model's attention stack.
+
+        Accepts a :class:`~repro.hw.workload.ModelWorkload` or any sequence
+        of :class:`~repro.hw.workload.AttentionWorkload` layers.  With the
+        vectorized engine, all layers run as ONE batched 2-D max-plus scan
+        (see :meth:`_simulate_attention_batched`); the scalar engine loops
+        layer by layer.  Either way the result's ``per_layer`` tuple holds
+        the single-layer breakdowns and the totals are their field sums —
+        the two engines agree bit-for-bit.
+        """
+        if isinstance(model, ModelWorkload):
+            layers = list(model.attention_layers)
+        else:
+            layers = list(model)
+        if not layers:
+            raise ValueError("no attention layers to simulate")
+        if self.engine == "scalar":
+            return merge_cycle_results(
+                self._simulate_layer_scalar(layer) for layer in layers
+            )
+        return self._simulate_attention_batched(layers)
+
+    def _simulate_attention_batched(self, layers) -> CycleSimResult:
+        """All layers as one (layer × job) array pipeline.
+
+        Per-layer job streams are padded into 2-D matrices whose rows are
+        the layers; running every scan along ``axis=1`` restarts the
+        max-plus recurrences at each row boundary, which IS the per-layer
+        reset semantics of the layer loop.  Padding uses zero durations and
+        ``-inf`` request times, so padded slots never influence a row's
+        event algebra, and all real values are produced by the exact same
+        IEEE operations as the single-layer scans — whole-model results
+        therefore match the per-layer loop bit for bit.
+        """
+        cfg = self.config
+        L = len(layers)
+        lanes = cfg.softmax_lanes
+
+        # Per-layer scalar geometry (identical expressions to the
+        # single-layer path; cheap Python over L layers).
+        q_service = np.empty(L)
+        s_col = np.empty(L)
+        v_service = np.empty(L)
+        per_wave = np.empty(L, dtype=np.int64)
+        d_lines = np.empty(L, dtype=np.int64)
+        s_lines = np.empty(L, dtype=np.int64)
+        spmm_compute = np.empty(L, dtype=np.int64)
+        products_d, products_s = [], []
+        for i, layer in enumerate(layers):
+            head_dim = layer.head_dim
+            k_col_bytes, tensor_bytes, q_stream = self._layer_geometry(layer)
+            q_service[i] = self._service(q_stream, tag="q-stream")
+            s_col[i] = self._service(k_col_bytes)
+            v_service[i] = self._service(2 * tensor_bytes, tag="v-stream")
+            d_prod, s_prod = self._column_products(layer)
+            products_d.append(d_prod)
+            products_s.append(s_prod)
+            alloc = allocate_mac_lines(
+                cfg.num_mac_lines,
+                int(d_prod.sum()) * head_dim,
+                int(s_prod.sum()) * head_dim,
+            )
+            d_lines[i] = max(alloc.denser_lines, 1)
+            s_lines[i] = max(alloc.sparser_lines, 1)
+            per_wave[i] = ceil(head_dim / cfg.macs_per_line)
+            spmm_compute[i] = (
+                ceil(layer.total_nnz / cfg.num_mac_lines)
+                * ceil(head_dim / cfg.macs_per_line)
+            )
+
+        pad_d, n_d = _pad_rows(products_d)
+        pad_s, n_s = _pad_rows(products_s)
+
+        # Integer durations (exact doubles), zero in the padded slots.
+        d_cycles = (-(-pad_d // d_lines[:, None]) * per_wave[:, None]
+                    ).astype(np.float64)
+        s_cycles = (-(-pad_s // s_lines[:, None]) * per_wave[:, None]
+                    ).astype(np.float64)
+        sm_d = (-(-pad_d // lanes)).astype(np.float64)
+        sm_s = (-(-pad_s // lanes)).astype(np.float64)
+
+        # DRAM channel per layer: q-stream, denser K loads, sparser K loads.
+        load_done_d = _masked_load_times(q_service, s_col, n_d, pad_d.shape[1])
+        base_s = q_service + s_col * n_d
+        load_done_s = _masked_load_times(base_s, s_col, n_s, pad_s.shape[1])
+
+        # Double-buffered compute, then the shared per-layer softmax queue.
+        zeros = np.zeros((L, 1))
+        free_d = _queue_scan_rows(load_done_d, d_cycles, zeros)
+        free_s = _queue_scan_rows(load_done_s, s_cycles, zeros)
+        t_denser = _row_finals(free_d, n_d)
+        t_sparser = _row_finals(free_s, n_s)
+        sm_after_d = _queue_scan_rows(free_d, sm_d, zeros)
+        sm_free_d = _row_finals(sm_after_d, n_d)
+        sm_after_s = _queue_scan_rows(free_s, sm_s, sm_free_d[:, None])
+        sm_free = np.where(n_s > 0, _row_finals(sm_after_s, n_s), sm_free_d)
+        sddmm_done = np.maximum(np.maximum(t_denser, t_sparser), sm_free)
+
+        dram_free = q_service + s_col * (n_d + n_s)
+        v_done = np.maximum(sddmm_done, dram_free) + v_service
+        spmm_done = np.maximum(sddmm_done + spmm_compute, v_done)
+
+        denser_busy = d_cycles.sum(axis=1)
+        sparser_busy = s_cycles.sum(axis=1)
+        dram_busy = q_service + s_col * (n_d + n_s) + v_service
+        softmax_busy = sm_d.sum(axis=1) + sm_s.sum(axis=1)
+
+        return merge_cycle_results(
+            CycleSimResult(
+                makespan=float(spmm_done[i]),
+                sddmm_makespan=float(sddmm_done[i]),
+                spmm_makespan=float(spmm_done[i] - sddmm_done[i]),
+                denser_busy=float(denser_busy[i]),
+                sparser_busy=float(sparser_busy[i]),
+                dram_busy=float(dram_busy[i]),
+                softmax_busy=float(softmax_busy[i]),
+                jobs_executed=int(n_d[i] + n_s[i]) + 2,
+            )
+            for i in range(L)
+        )

@@ -18,10 +18,28 @@ from ..models.config import ModelConfig
 from ..sparsity.split_conquer import SplitConquerResult, split_and_conquer
 from ..sparsity.patterns import synthetic_vit_attention
 
-__all__ = ["HeadWorkload", "AttentionWorkload", "GemmWorkload", "ModelWorkload",
+__all__ = ["HeadWorkload", "HeadStatArrays", "AttentionWorkload",
+           "GemmWorkload", "ModelWorkload",
            "attention_workload_from_masks", "dense_attention_workload",
            "synthetic_attention_workload", "model_workload",
            "split_remainder"]
+
+
+def _memoized(obj, attr, builder):
+    """Cache ``builder()`` on a frozen dataclass instance.
+
+    The workload dataclasses are frozen (value semantics, shareable across
+    threads and the process-wide :mod:`repro.perf` cache), but their derived
+    geometry arrays are pure functions of the fields, so stashing them in
+    ``__dict__`` via ``object.__setattr__`` preserves immutability of the
+    *fields* while letting every simulator share one set of arrays.
+    """
+    try:
+        return obj.__dict__[attr]
+    except KeyError:
+        value = builder()
+        object.__setattr__(obj, attr, value)
+        return value
 
 
 def split_remainder(nnz, cols):
@@ -85,6 +103,24 @@ class HeadWorkload:
 
 
 @dataclass(frozen=True)
+class HeadStatArrays:
+    """Per-head statistics of one layer as parallel int64/float64 arrays.
+
+    Built once per :class:`AttentionWorkload` (see
+    :meth:`AttentionWorkload.head_stats`) so simulators can replace their
+    per-head Python walks with array reductions.
+    """
+
+    tokens: np.ndarray
+    global_tokens: np.ndarray
+    denser_nnz: np.ndarray
+    sparser_nnz: np.ndarray
+    index_bytes: np.ndarray
+    head_dim: np.ndarray
+    locality: np.ndarray
+
+
+@dataclass(frozen=True)
 class AttentionWorkload:
     """One attention layer: shapes plus per-head polarized statistics.
 
@@ -101,13 +137,84 @@ class AttentionWorkload:
     heads: Sequence[HeadWorkload]
     streaming_fallback: bool = True
 
+    #: instance-cache attributes (see :func:`_memoized`) stripped from
+    #: pickles: they are pure derived data, and parallel DSE chunks ship
+    #: the workload often enough that doubling the payload matters.
+    _CACHE_ATTRS = ("_head_stats", "_denser_job_products",
+                    "_sparser_job_products")
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        for attr in self._CACHE_ATTRS:
+            state.pop(attr, None)
+        return state
+
     @property
     def embed_dim(self):
         return self.num_heads * self.head_dim
 
+    # ------------------------------------------------------------------
+    # Derived geometry arrays (built once, shared by every simulator)
+    # ------------------------------------------------------------------
+    def head_stats(self) -> HeadStatArrays:
+        """Per-head statistics as parallel arrays (cached on the workload)."""
+        return _memoized(self, "_head_stats", self._build_head_stats)
+
+    def _build_head_stats(self):
+        heads = self.heads
+        return HeadStatArrays(
+            tokens=np.array([h.num_tokens for h in heads], dtype=np.int64),
+            global_tokens=np.array(
+                [h.num_global_tokens for h in heads], dtype=np.int64
+            ),
+            denser_nnz=np.array(
+                [h.denser_nnz for h in heads], dtype=np.int64
+            ),
+            sparser_nnz=np.array(
+                [h.sparser_nnz for h in heads], dtype=np.int64
+            ),
+            index_bytes=np.array(
+                [h.sparser_index_bytes for h in heads], dtype=np.int64
+            ),
+            head_dim=np.array([h.head_dim for h in heads], dtype=np.int64),
+            locality=np.array(
+                [h.sparser_locality for h in heads], dtype=np.float64
+            ),
+        )
+
+    def denser_job_products(self) -> np.ndarray:
+        """Per-column SDDMM products of the denser engine's job stream:
+        every global-token column carries ``num_tokens`` products (cached)."""
+        return _memoized(self, "_denser_job_products", self._build_denser_jobs)
+
+    def _build_denser_jobs(self):
+        stats = self.head_stats()
+        return np.repeat(stats.tokens, stats.global_tokens)
+
+    def sparser_job_products(self) -> np.ndarray:
+        """Per-column products of the sparser engine's job stream, in head
+        order with empty columns dropped (cached).  Heads without explicit
+        per-column counts fall back to :func:`split_remainder`."""
+        return _memoized(self, "_sparser_job_products", self._build_sparser_jobs)
+
+    def _build_sparser_jobs(self):
+        parts = []
+        for head in self.heads:
+            col_nnz = head.sparser_column_nnz
+            if col_nnz is None:
+                col_nnz = split_remainder(
+                    head.sparser_nnz, head.num_tokens - head.num_global_tokens
+                )
+            parts.append(np.asarray(col_nnz, dtype=np.int64))
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        merged = np.concatenate(parts)
+        return merged[merged > 0]
+
     @property
     def total_nnz(self):
-        return sum(h.total_nnz for h in self.heads)
+        stats = self.head_stats()
+        return int((stats.denser_nnz + stats.sparser_nnz).sum())
 
     @property
     def sparsity(self):
@@ -123,11 +230,16 @@ class AttentionWorkload:
 
     @property
     def sddmm_macs(self):
-        return sum(h.denser_macs + h.sparser_macs for h in self.heads)
+        stats = self.head_stats()
+        products = stats.global_tokens * stats.tokens + stats.sparser_nnz
+        return int((products * stats.head_dim).sum())
 
     @property
     def spmm_macs(self):
-        return sum(h.spmm_macs for h in self.heads)
+        stats = self.head_stats()
+        return int(
+            ((stats.denser_nnz + stats.sparser_nnz) * stats.head_dim).sum()
+        )
 
     @property
     def denser_fraction(self):
@@ -135,7 +247,11 @@ class AttentionWorkload:
         total = self.sddmm_macs
         if total == 0:
             return 1.0
-        return sum(h.denser_macs for h in self.heads) / total
+        stats = self.head_stats()
+        denser = int(
+            (stats.global_tokens * stats.tokens * stats.head_dim).sum()
+        )
+        return denser / total
 
     def column_cv(self):
         """Coefficient of variation of per-column SDDMM products when the
@@ -163,10 +279,10 @@ class AttentionWorkload:
     @property
     def scattered_nnz(self):
         """Sparser non-zeros without streaming locality (scattered fetches)."""
-        return sum(
-            int(round(h.sparser_nnz * (1.0 - h.sparser_locality)))
-            for h in self.heads
-        )
+        stats = self.head_stats()
+        # np.round matches builtins.round (half-to-even) on float64.
+        scattered = np.round(stats.sparser_nnz * (1.0 - stats.locality))
+        return int(scattered.astype(np.int64).sum())
 
     def qk_bytes(self, bytes_per_element):
         """Q plus K footprint of the whole layer."""
@@ -176,7 +292,7 @@ class AttentionWorkload:
         return self.num_tokens * self.embed_dim * bytes_per_element
 
     def index_bytes(self):
-        return sum(h.sparser_index_bytes for h in self.heads)
+        return int(self.head_stats().index_bytes.sum())
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,47 @@
+"""Unified simulation-engine layer shared by every simulator in the repo.
+
+Every hardware model — :class:`~repro.hw.accelerator.ViTCoDAccelerator`,
+:class:`~repro.baselines.sanger.SangerSimulator`,
+:class:`~repro.baselines.spatten.SpAttenSimulator`,
+:class:`~repro.hw.cycle_sim.CycleAccurateSimulator`, and the analytical
+CPU/GPU platforms — exposes the same whole-model surface, captured here as
+two structural protocols:
+
+* :class:`Simulator` — ``simulate_attention(model) -> result`` plus a
+  ``name``; the result carries additive totals and a ``merged`` method;
+* :class:`ModelSimulator` — adds ``simulate_model(model)`` (attention plus
+  the dense QKV/projection/MLP GEMMs).
+
+The protocols are *structural* (:func:`typing.runtime_checkable`): anything
+with the right methods conforms, no inheritance required.  The experiment
+harness, DSE sweeps and benchmark suite program against this surface only,
+so a new simulator plugs into every figure runner by implementing it.
+
+Two base classes provide the shared accumulation machinery that used to be
+re-implemented (four times) as per-simulator merge loops:
+
+* :class:`AttentionSimulatorBase` — drives ``simulate_attention_layer``
+  over ``model.attention_layers`` and folds the per-layer reports with
+  :func:`merge_results` (raising a clear :class:`ValueError` on empty
+  models instead of crashing);
+* :class:`ModelSimulatorBase` — adds the GEMM walk for
+  ``simulate_model``, with hooks for which simulator runs the dense path
+  and which outputs are AE-compressed.
+
+Subclasses override narrow hooks (per-layer kwargs, detail dicts, the
+dense-path simulator) rather than rewriting the loops; fast batched
+implementations (the cycle simulator's one-scan whole-model pipeline, the
+analytical model's array geometry) override the driver method itself and
+are tested bit-for-bit against the base class's fold.
+"""
+
+from .protocol import ModelSimulator, Simulator
+from .engine import AttentionSimulatorBase, ModelSimulatorBase, merge_results
+
+__all__ = [
+    "Simulator",
+    "ModelSimulator",
+    "AttentionSimulatorBase",
+    "ModelSimulatorBase",
+    "merge_results",
+]

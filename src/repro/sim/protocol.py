@@ -1,0 +1,38 @@
+"""Structural protocols of the unified simulation surface.
+
+See the package docstring (:mod:`repro.sim`) for the contract.  These are
+:func:`typing.runtime_checkable` so tests (and duck-typing callers) can
+assert conformance with ``isinstance``; note that runtime checks only
+verify member *presence*, not signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["Simulator", "ModelSimulator"]
+
+
+@runtime_checkable
+class Simulator(Protocol):
+    """Anything that can simulate a model's attention workload.
+
+    ``simulate_attention`` accepts a :class:`~repro.hw.workload.ModelWorkload`
+    and returns a result whose fields are additive across layers (a
+    :class:`~repro.hw.trace.SimReport` for the analytical simulators, a
+    :class:`~repro.hw.cycle_sim.CycleSimResult` for the event-driven one)
+    and which supports pairwise ``merged``.
+    """
+
+    name: str
+
+    def simulate_attention(self, model: Any) -> Any:
+        ...
+
+
+@runtime_checkable
+class ModelSimulator(Simulator, Protocol):
+    """A :class:`Simulator` that also runs the dense layers end to end."""
+
+    def simulate_model(self, model: Any) -> Any:
+        ...

@@ -1,10 +1,15 @@
 """Tests for the design-space exploration utilities."""
 
+from itertools import islice
+
 import numpy as np
 import pytest
 
+from repro.harness import dse as dse_module
 from repro.harness.dse import (
     DesignPoint,
+    ParetoFront,
+    iter_design_space,
     pareto_frontier,
     sensitivity,
     sweep_design_space,
@@ -151,6 +156,118 @@ class TestPareto:
         # The fastest point always survives.
         fastest = min(points, key=lambda p: p.seconds)
         assert fastest in frontier
+
+
+def _params_key(point):
+    return repr(point.parameters)
+
+
+class TestStreaming:
+    GRID = {"mac_lines": [16, 32, 64], "ae_compression": [None, 0.5]}
+
+    def test_serial_stream_equals_eager_sweep(self, small_workload):
+        eager = sweep_design_space(small_workload, self.GRID)
+        streamed = list(iter_design_space(small_workload, self.GRID))
+        assert streamed == eager  # same points, same (grid) order
+
+    def test_parallel_stream_same_multiset(self, small_workload):
+        eager = sweep_design_space(small_workload, self.GRID)
+        streamed = list(iter_design_space(small_workload, self.GRID,
+                                          n_jobs=3))
+        assert sorted(streamed, key=_params_key) == \
+            sorted(eager, key=_params_key)
+
+    def test_lazy_never_materialises_grid(self, small_workload, monkeypatch):
+        """Taking 5 points from an 864-point grid evaluates exactly 5."""
+        calls = []
+        real = dse_module._evaluate_design_point
+
+        def counting(*args):
+            calls.append(1)
+            return real(*args)
+
+        monkeypatch.setattr(dse_module, "_evaluate_design_point", counting)
+        grid = {"mac_lines": list(range(8, 520, 6)),
+                "bandwidth_gbps": [19.2, 76.8],
+                "ae_compression": [None, 0.25, 0.3, 0.5, 0.75]}
+        taken = list(islice(iter_design_space(small_workload, grid), 5))
+        assert len(taken) == 5
+        assert len(calls) == 5
+
+    def test_incremental_frontier_matches_eager(self, small_workload):
+        eager = sweep_design_space(small_workload, self.GRID)
+        front = ParetoFront()
+        yielded = list(iter_design_space(small_workload, self.GRID,
+                                         frontier=front))
+        assert front.points == pareto_frontier(eager)
+        assert front.offered == len(eager)
+        # Every yielded point was non-dominated when it arrived, and the
+        # final frontier is a subset of what was yielded.
+        assert all(p in eager for p in yielded)
+        assert all(p in yielded for p in front.points)
+
+    def test_parallel_frontier_matches_eager(self, small_workload):
+        eager = sweep_design_space(small_workload, self.GRID)
+        front = ParetoFront()
+        list(iter_design_space(small_workload, self.GRID, n_jobs=2,
+                               frontier=front))
+        assert (sorted(front.points, key=_params_key)
+                == sorted(pareto_frontier(eager), key=_params_key))
+
+    def test_empty_grid_raises(self, small_workload):
+        with pytest.raises(ValueError):
+            next(iter_design_space(small_workload, {}))
+
+    def test_one_shot_iterable_grid_values(self, small_workload):
+        """Grid values that can only be consumed once still sweep fully."""
+        eager = sweep_design_space(small_workload, {"mac_lines": [16, 32]})
+        from_iter = sweep_design_space(small_workload,
+                                       {"mac_lines": iter([16, 32])})
+        assert from_iter == eager
+
+
+class TestParetoFront:
+    def _point(self, i, seconds, energy):
+        return DesignPoint((("i", i),), seconds=seconds,
+                           energy_joules=energy, area_proxy=1)
+
+    def test_dominated_offer_rejected(self):
+        front = ParetoFront()
+        assert front.offer(self._point(0, 1.0, 1.0))
+        assert not front.offer(self._point(1, 2.0, 2.0))
+        assert len(front) == 1
+
+    def test_new_point_evicts_dominated(self):
+        front = ParetoFront()
+        front.offer(self._point(0, 2.0, 2.0))
+        front.offer(self._point(1, 3.0, 1.0))
+        assert front.offer(self._point(2, 1.0, 1.0))  # dominates both
+        assert [p.parameter("i") for p in front] == [2]
+
+    def test_duplicates_all_kept(self):
+        front = ParetoFront()
+        p = self._point(0, 1.0, 1.0)
+        assert front.offer(p) and front.offer(p) and front.offer(p)
+        assert len(front) == 3  # equal points never dominate each other
+
+    def test_matches_eager_on_random_streams(self):
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            n = int(rng.integers(1, 40))
+            vals = rng.integers(0, 5, size=(n, 2)).astype(float)
+            points = [self._point(i, v[0], v[1]) for i, v in enumerate(vals)]
+            front = ParetoFront().update(points)
+            assert front.points == pareto_frontier(points)
+
+    def test_three_objectives(self):
+        points = [
+            DesignPoint((("i", 0),), 1.0, 2.0, 3.0),
+            DesignPoint((("i", 1),), 2.0, 1.0, 3.0),
+            DesignPoint((("i", 2),), 2.0, 2.0, 4.0),  # dominated by 0 and 1
+        ]
+        objectives = ("seconds", "energy_joules", "area_proxy")
+        front = ParetoFront(objectives=objectives).update(points)
+        assert front.points == pareto_frontier(points, objectives=objectives)
 
 
 class TestSensitivity:
