@@ -11,10 +11,8 @@ import pytest
 from repro.hw import (
     CycleAccurateSimulator,
     ViTCoDAccelerator,
-    model_workload,
     synthetic_attention_workload,
 )
-from repro.models import get_config
 
 from conftest import print_paper_vs_measured
 

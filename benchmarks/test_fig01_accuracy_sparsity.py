@@ -8,8 +8,6 @@ axes) and a *measured* run on our small trained ViT (real masks, real
 finetuning) confirming the flat-then-knee trend for real.
 """
 
-import numpy as np
-import pytest
 
 from repro.autoencoder import run_vitcod_pipeline
 from repro.harness import fig1_accuracy_sparsity

@@ -5,7 +5,6 @@ test loss and the reconstruction loss fall, and accuracy recovers to within
 0.5 % of the vanilla model (dashed lines) for DeiT and LeViT alike.
 """
 
-import numpy as np
 
 from repro.autoencoder import finetune_with_autoencoder
 from repro.models import pretrained

@@ -6,8 +6,6 @@ Paper (90 % sparsity, averaged over the DeiT/LeViT models):
   end-to-end:     33.8x CPU, 5.6x EdgeGPU, 3.1x SpAtten, 2.1x Sanger
 """
 
-import numpy as np
-import pytest
 
 from repro.harness import DEFAULT_MODELS, fig15_speedups
 

@@ -31,7 +31,7 @@ def main():
         print(format_table(
             ["epoch", "test loss", "recon loss", "accuracy"], rows,
             float_fmt="{:.4f}"))
-        print(f"accuracy drop after AE finetune: "
+        print("accuracy drop after AE finetune: "
               f"{result.accuracy_drop:+.3f} (paper: <0.5%)")
 
 

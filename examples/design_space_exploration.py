@@ -41,11 +41,9 @@ def main():
     ))
 
     print("\n=== 2-D sweep + Pareto frontier (latency vs energy) ===")
-    points = sweep_design_space(
-        workload,
-        {"mac_lines": [32, 64, 128], "ae_compression": [None, 0.5],
-         "bandwidth_gbps": [38.4, 76.8]},
-    )
+    grid = {"mac_lines": [32, 64, 128], "ae_compression": [None, 0.5],
+            "bandwidth_gbps": [38.4, 76.8]}
+    points = sweep_design_space(workload, grid)
     frontier = pareto_frontier(points)
     print(f"{len(points)} design points, {len(frontier)} on the frontier:")
     print(format_table(
@@ -53,6 +51,15 @@ def main():
         [[", ".join(f"{k}={v}" for k, v in p.parameters),
           p.seconds * 1e3, p.energy_joules * 1e6]
          for p in sorted(frontier, key=lambda p: p.seconds)],
+    ))
+
+    print("\n=== hybrid sweep: analytical prune, cycle-accurate re-score ===")
+    survivors = sweep_design_space(workload, grid, evaluator="hybrid")
+    print(format_table(
+        ["parameters", "cycle-sim latency ms", "energy uJ"],
+        [[", ".join(f"{k}={v}" for k, v in p.parameters),
+          p.seconds * 1e3, p.energy_joules * 1e6]
+         for p in survivors],
     ))
 
 

@@ -7,7 +7,6 @@ mask shows a dense block of global-token columns on the left and a sparse
 Run:  python examples/polarize_attention.py
 """
 
-import numpy as np
 
 from repro.harness import format_table
 from repro.sparsity import metrics, split_and_conquer, synthetic_vit_attention
@@ -51,7 +50,8 @@ def main():
             part.num_global_tokens,
             f"{part.denser_density:.2f}",
             f"{part.sparser_density:.3f}",
-            f"{metrics.polarization_score(part.reordered_mask[None], part.num_global_tokens):.3f}",
+            "{:.3f}".format(metrics.polarization_score(
+                part.reordered_mask[None], part.num_global_tokens)),
         ])
     print("\nper-head polarization:")
     print(format_table(

@@ -9,7 +9,7 @@ holds up after a short finetune, and reports simulated attention latency.
 Run:  python examples/pose_estimation.py
 """
 
-from repro.hw import ViTCoDAccelerator, attention_workload_from_masks, model_workload
+from repro.hw import ViTCoDAccelerator, model_workload
 from repro.models import (
     evaluate_pose,
     extract_average_attention,

@@ -1,1 +1,5 @@
-from setuptools import setup; setup()
+"""Legacy-installer shim; all metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn.autograd import Tensor
 from ..nn.modules import Module, Parameter
 
 __all__ = ["HeadAutoEncoder", "default_ae_factory"]

@@ -20,7 +20,6 @@ import numpy as np
 from ..models.extraction import extract_average_attention
 from ..models.zoo import TrainResult, train_classifier, evaluate_classifier
 from ..sparsity.split_conquer import SplitConquerResult, split_and_conquer
-from .module import HeadAutoEncoder
 from .training import attach_autoencoders, reconstruction_term
 
 __all__ = ["ViTCoDPipelineResult", "run_vitcod_pipeline"]

@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-import numpy as np
 
 from ..nn import functional as F
 from ..models.zoo import train_classifier, evaluate_classifier

@@ -20,7 +20,7 @@ n²-sized partial-sum surface spills tiles through the global buffer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from math import ceil
 
 import numpy as np

@@ -6,6 +6,7 @@ Runs any of the paper's experiments headlessly and prints/export results:
     python -m repro fig19 --json results.json
     python -m repro roofline
     python -m repro polarize --tokens 197 --heads 12
+    python -m repro dse --models deit-tiny --evaluator cycle --n-jobs 4
     python -m repro list
 """
 
@@ -32,7 +33,46 @@ EXPERIMENTS = {
     "nlp": "NLP comparison vs Sanger",
     "roofline": "alias of fig3 with ASCII plot",
     "polarize": "run Algorithm 1 and draw the mask",
+    "dse": "design-space sweep + Pareto frontier",
 }
+
+#: Default grid of the ``dse`` command (overridable with ``--grid``).
+DEFAULT_DSE_GRID = {
+    "mac_lines": (16, 32, 64, 128),
+    "ae_compression": (None, 0.5),
+}
+
+
+def _parse_grid_value(token):
+    """One swept value: ``none`` -> None, else int if exact, else float."""
+    token = token.strip()
+    if token.lower() == "none":
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        return float(token)
+
+
+def parse_grid(specs):
+    """Parse repeated ``--grid name=v1,v2,...`` options into a DSE grid."""
+    grid = {}
+    for spec in specs or ():
+        name, sep, values = spec.partition("=")
+        if not sep or not values:
+            raise SystemExit(
+                f"bad --grid spec {spec!r}; expected name=v1,v2,..."
+            )
+        try:
+            grid[name.strip()] = tuple(
+                _parse_grid_value(v) for v in values.split(",")
+            )
+        except ValueError as exc:
+            raise SystemExit(
+                f"bad --grid value in {spec!r}: {exc}; expected numbers "
+                "or 'none'"
+            ) from None
+    return grid or dict(DEFAULT_DSE_GRID)
 
 
 def build_parser():
@@ -54,6 +94,18 @@ def build_parser():
                         help="polarize: head count")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the raw result as JSON")
+    parser.add_argument("--evaluator", default="analytical",
+                        choices=["analytical", "cycle", "hybrid"],
+                        help="dse: design-point evaluator (default "
+                             "analytical; cycle = event-driven simulator; "
+                             "hybrid = analytical prune + cycle re-score)")
+    parser.add_argument("--grid", action="append", metavar="NAME=V1,V2,...",
+                        default=None,
+                        help="dse: one swept parameter (repeatable), e.g. "
+                             "--grid mac_lines=32,64 --grid "
+                             "ae_compression=none,0.5")
+    parser.add_argument("--n-jobs", type=int, default=1,
+                        help="dse: parallel evaluation workers (default 1)")
     return parser
 
 
@@ -126,7 +178,7 @@ def _run(args):
             print(f"{design:14s}", render_breakdown(fr))
         print(f"\nS&C vs Sanger: {result['speedup_sc_only_vs_sanger']:.2f}x; "
               f"AE on top: {result['speedup_ae_on_top']:.2f}x; "
-              f"energy eff vs Sanger: "
+              "energy eff vs Sanger: "
               f"{result['energy_efficiency_vs_sanger']:.2f}x")
         return result
 
@@ -156,6 +208,43 @@ def _run(args):
               r["fixed_mask_bleu_drop"]] for r in result],
         ))
         return result
+
+    if name == "dse":
+        from .harness.dse import pareto_frontier, sweep_design_space
+        from .perf import cached_model_workload
+        model = args.models[0] if args.models else "deit-tiny"
+        grid = parse_grid(args.grid)
+        workload = cached_model_workload(model, sparsity=args.sparsity)
+        points = sweep_design_space(workload, grid, n_jobs=args.n_jobs,
+                                    evaluator=args.evaluator)
+        frontier = set(map(id, pareto_frontier(points)))
+        names_ = sorted(grid)
+        print(harness.format_table(
+            names_ + ["seconds", "energy_J", "EDP", "pareto"],
+            [[p.parameter(n) for n in names_]
+             + [p.seconds, p.energy_joules, p.edp,
+                "*" if id(p) in frontier else ""]
+             for p in points],
+            float_fmt="{:.3e}",
+        ))
+        print(f"\n{len(points)} points ({args.evaluator} evaluator), "
+              f"{len(frontier)} on the Pareto frontier")
+        return {
+            "model": model,
+            "sparsity": args.sparsity,
+            "evaluator": args.evaluator,
+            "grid": {k: list(v) for k, v in grid.items()},
+            "points": [
+                {
+                    "parameters": dict(p.parameters),
+                    "seconds": p.seconds,
+                    "energy_joules": p.energy_joules,
+                    "edp": p.edp,
+                    "pareto": id(p) in frontier,
+                }
+                for p in points
+            ],
+        }
 
     if name == "polarize":
         from .sparsity import split_and_conquer, synthetic_vit_attention

@@ -8,10 +8,9 @@ buffer and PE-line allocation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
-import numpy as np
 
 from ..hw.allocator import allocate_mac_lines
 from ..hw.params import VITCOD_DEFAULT, HardwareConfig

@@ -49,7 +49,8 @@ def tile_1d(total, tile):
 
 def tiles_for_matmul(m, k, n, tile_m, tile_k, tile_n):
     """Number of (m, k, n) tile triples for a blocked GEMM."""
-    return tile_1d(m, tile_m).count * tile_1d(k, tile_k).count * tile_1d(n, tile_n).count
+    return (tile_1d(m, tile_m).count * tile_1d(k, tile_k).count
+            * tile_1d(n, tile_n).count)
 
 
 def fits_in_buffer(num_elements, bytes_per_element, buffer_bytes):

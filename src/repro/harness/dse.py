@@ -16,14 +16,26 @@ All evaluation goes through ONE streaming engine:
   and restores deterministic grid order, so serial and parallel runs are
   interchangeable (and equal to the streaming results point for point).
 
+*What* scores a point is pluggable (:mod:`repro.sim.evaluator`): pass
+``evaluator=`` — ``"analytical"`` (the default closed-form model),
+``"cycle"`` (the event-driven simulator, streamed through the same
+engine), ``"hybrid"`` (prune analytically, re-score the surviving frontier
+cycle-accurately, survivors in deterministic grid order), or any
+:class:`~repro.sim.evaluator.Evaluator` instance.  A point whose evaluator
+raises is dropped with a :class:`RuntimeWarning` (the sweep never hangs on
+a poisoned worker task); unknown grid *parameters* still raise.
+
 Parallel runs fan grid points across ``concurrent.futures`` workers in
-chunks (the workload is pickled once per chunk, not per point) with a
-bounded number of chunks in flight, yielding chunks ``as_completed``.
+chunks with a bounded number of chunks in flight, yielding chunks
+``as_completed``; the workload is shipped once per worker through the pool
+initializer (:func:`repro.perf.seed_worker_workload`), so per-workload
+memoized geometry is derived once per worker, not once per chunk.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
     ThreadPoolExecutor, wait
 from dataclasses import dataclass, replace
@@ -32,9 +44,11 @@ from typing import Dict, Iterable, Iterator, List, Sequence
 
 import numpy as np
 
-from ..hw.accelerator import ViTCoDAccelerator
 from ..hw.params import VITCOD_DEFAULT, HardwareConfig
 from ..hw.workload import ModelWorkload
+from ..perf.cache import seed_worker_workload, seeded_workload
+from ..sim.evaluator import Evaluator, HybridEvaluator, \
+    UnsupportedParameterError, resolve_evaluator
 
 __all__ = ["DesignPoint", "ParetoFront", "iter_design_space",
            "sweep_design_space", "pareto_frontier", "sensitivity"]
@@ -81,26 +95,59 @@ def _apply(config: HardwareConfig, accel_kwargs: dict, name, value):
     )
 
 
-def _evaluate_design_point(workload, base_config, names, values) -> DesignPoint:
-    """Evaluate one grid point (module-level so process pools can pickle it)."""
+@dataclass(frozen=True)
+class _PointFailure:
+    """A design point whose evaluator raised (dropped with a warning)."""
+
+    parameters: tuple
+    error: str
+
+
+def _evaluate_design_point(workload, base_config, names, values,
+                           evaluator: Evaluator):
+    """Evaluate one grid point (module-level so process pools can pickle it).
+
+    Unknown/misrouted grid parameters raise (a malformed *grid* is a caller
+    bug, including an :class:`~repro.sim.evaluator.UnsupportedParameterError`
+    from an evaluator that cannot honour a swept knob); any other exception
+    from the evaluator itself — a simulator blowing up on one configuration
+    — is captured as a :class:`_PointFailure` so a pool worker returns it
+    instead of poisoning its whole chunk.
+    """
     config = base_config
     accel_kwargs: dict = {}
     for name, value in zip(names, values):
         config, accel_kwargs = _apply(config, accel_kwargs, name, value)
-    accel = ViTCoDAccelerator(config=config, **accel_kwargs)
-    report = accel.simulate_attention(workload)
+    parameters = tuple(zip(names, values))
+    try:
+        metrics = evaluator(workload, config, accel_kwargs)
+    except UnsupportedParameterError:
+        raise
+    except Exception as exc:
+        return _PointFailure(
+            parameters=parameters, error=f"{type(exc).__name__}: {exc}"
+        )
     return DesignPoint(
-        parameters=tuple(zip(names, values)),
-        seconds=report.seconds,
-        energy_joules=report.energy_joules,
+        parameters=parameters,
+        seconds=metrics.seconds,
+        energy_joules=metrics.energy_joules,
         area_proxy=config.total_macs,
     )
 
 
-def _evaluate_chunk(workload, base_config, names, chunk):
-    """Evaluate a list of ``(grid_index, values)`` pairs in one task."""
+def _evaluate_chunk(workload, base_config, names, chunk, evaluator):
+    """Evaluate a list of ``(grid_index, values)`` pairs in one task.
+
+    ``workload=None`` means "use the workload the pool initializer seeded
+    into this worker" (:func:`repro.perf.seed_worker_workload`) — chunk
+    tasks then carry no workload payload at all.
+    """
+    if workload is None:
+        workload = seeded_workload()
     return [
-        (index, _evaluate_design_point(workload, base_config, names, values))
+        (index,
+         _evaluate_design_point(workload, base_config, names, values,
+                                evaluator))
         for index, values in chunk
     ]
 
@@ -194,40 +241,64 @@ def _chunked(iterable, size):
 _STREAM_CHUNK = 16
 
 
-def _iter_indexed_points(workload, grid, base_config, n_jobs,
-                         chunksize=None) -> Iterator[tuple]:
-    """Yield ``(grid_index, DesignPoint)`` pairs, lazily.
-
-    Serial runs walk the cross-product in grid order without materialising
-    it.  Parallel runs keep at most ``2 * n_jobs`` chunks in flight and
-    yield chunks as they complete (so indices may arrive out of order —
-    that IS the streaming contract; sort by index to recover grid order).
-    Only pool *creation* may fall back to threads (sandboxes without
-    process/semaphore support); failures during evaluation — including
-    BrokenProcessPool — propagate.
-    """
-    base_config = base_config or VITCOD_DEFAULT
-    names, combos = _resolve_grid(grid)
-    indexed = enumerate(combos)
+def _resolve_n_jobs(n_jobs):
     if n_jobs is None:
         n_jobs = os.cpu_count() or 1
-    n_jobs = max(1, int(n_jobs))
-    if n_jobs == 1:
-        for index, values in indexed:
-            yield index, _evaluate_design_point(
-                workload, base_config, names, values
+    return max(1, int(n_jobs))
+
+
+def _filter_failures(pairs):
+    """Pass ``(index, DesignPoint)`` pairs through; warn-and-drop failures."""
+    for index, point in pairs:
+        if isinstance(point, _PointFailure):
+            warnings.warn(
+                f"DSE point {index} {dict(point.parameters)!r} dropped: "
+                f"evaluator raised {point.error}",
+                RuntimeWarning,
+                stacklevel=2,
             )
+            continue
+        yield index, point
+
+
+def _stream_evaluations(workload, base_config, names, indexed, n_jobs,
+                        chunksize, evaluator) -> Iterator[tuple]:
+    """Evaluate ``(grid_index, values)`` pairs, yielding completed points.
+
+    The engine under both the lazy and the eager sweep: serial runs
+    evaluate in the order given; parallel runs keep at most ``2 * n_jobs``
+    chunks in flight and yield chunks as they complete (out of order —
+    that IS the streaming contract; sort by index to recover input order).
+    The workload is shipped once per worker via the pool initializer, so
+    chunk tasks stay tiny and workers reuse one memoized workload object.
+    Only pool *creation* may fall back to threads (sandboxes without
+    process/semaphore support); failures outside the evaluator — including
+    BrokenProcessPool — propagate.
+    """
+    if n_jobs == 1:
+        pairs = (
+            (index,
+             _evaluate_design_point(workload, base_config, names, values,
+                                    evaluator))
+            for index, values in indexed
+        )
+        yield from _filter_failures(pairs)
         return
     chunks = _chunked(indexed, chunksize or _STREAM_CHUNK)
     try:
-        pool = ProcessPoolExecutor(max_workers=n_jobs)
+        pool = ProcessPoolExecutor(max_workers=n_jobs,
+                                   initializer=seed_worker_workload,
+                                   initargs=(workload,))
+        task_workload = None  # workers read the seeded copy instead
     except OSError:
         pool = ThreadPoolExecutor(max_workers=n_jobs)
+        task_workload = workload
     try:
         pending = set()
         for chunk in islice(chunks, 2 * n_jobs):
             pending.add(
-                pool.submit(_evaluate_chunk, workload, base_config, names, chunk)
+                pool.submit(_evaluate_chunk, task_workload, base_config,
+                            names, chunk, evaluator)
             )
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -235,10 +306,10 @@ def _iter_indexed_points(workload, grid, base_config, n_jobs,
                 chunk = next(chunks, None)
                 if chunk is not None:
                     pending.add(
-                        pool.submit(_evaluate_chunk, workload, base_config,
-                                    names, chunk)
+                        pool.submit(_evaluate_chunk, task_workload,
+                                    base_config, names, chunk, evaluator)
                     )
-                yield from future.result()
+                yield from _filter_failures(future.result())
         pool.shutdown(wait=True)
     finally:
         # An abandoned stream (consumer stopped early) must not block on
@@ -247,9 +318,27 @@ def _iter_indexed_points(workload, grid, base_config, n_jobs,
         pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _iter_indexed_points(workload, grid, base_config, n_jobs,
+                         chunksize=None, evaluator=None) -> Iterator[tuple]:
+    """Yield ``(grid_index, DesignPoint)`` pairs over the grid, lazily.
+
+    Serial runs walk the cross-product in grid order without materialising
+    it; see :func:`_stream_evaluations` for the parallel contract.
+    """
+    base_config = base_config or VITCOD_DEFAULT
+    if evaluator is None:
+        evaluator = resolve_evaluator(None)
+    names, combos = _resolve_grid(grid)
+    yield from _stream_evaluations(
+        workload, base_config, names, enumerate(combos),
+        _resolve_n_jobs(n_jobs), chunksize, evaluator,
+    )
+
+
 def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
                       base_config: HardwareConfig = None, n_jobs: int = 1,
-                      frontier: ParetoFront = None) -> Iterator[DesignPoint]:
+                      frontier: ParetoFront = None, evaluator=None,
+                      chunksize: int = None) -> Iterator[DesignPoint]:
     """Stream the grid cross-product: yield each :class:`DesignPoint` as it
     completes, never materialising the full grid.
 
@@ -263,6 +352,16 @@ def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
     after the stream is drained ``frontier.points`` is exactly
     :func:`pareto_frontier` of the whole grid.
 
+    ``evaluator`` selects what scores each point (see
+    :func:`~repro.sim.evaluator.resolve_evaluator`): ``None``/
+    ``"analytical"`` keep the closed-form default, ``"cycle"`` streams
+    event-driven :class:`~repro.hw.cycle_sim.CycleAccurateSimulator`
+    points through the same bounded-chunk engine (tune ``chunksize`` down
+    for very expensive points), and ``"hybrid"`` — or any
+    :class:`~repro.sim.evaluator.HybridEvaluator` — prunes the grid with
+    its coarse evaluator and yields only the surviving frontier re-scored
+    by its fine evaluator, in deterministic grid order.
+
     Example
     -------
     >>> front = ParetoFront()
@@ -270,8 +369,62 @@ def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
     ...     print("candidate", point.parameters)   # prefix-frontier points
     >>> best = front.points                        # exact final frontier
     """
-    stream = _iter_indexed_points(workload, grid, base_config, n_jobs)
+    evaluator = resolve_evaluator(evaluator)
+    if isinstance(evaluator, HybridEvaluator):
+        yield from _iter_hybrid(workload, grid, base_config, n_jobs,
+                                frontier, evaluator, chunksize)
+        return
+    stream = _iter_indexed_points(workload, grid, base_config, n_jobs,
+                                  chunksize, evaluator)
     for _, point in stream:
+        if frontier is not None and not frontier.offer(point):
+            continue
+        yield point
+
+
+def _iter_hybrid(workload, grid, base_config, n_jobs, frontier,
+                 evaluator: HybridEvaluator, chunksize) -> Iterator[DesignPoint]:
+    """Two-phase sweep: coarse-prune the grid, fine-score the survivors.
+
+    Phase 1 streams every grid point through ``evaluator.coarse`` into an
+    incremental :class:`ParetoFront`; phase 2 re-scores only the surviving
+    frontier with ``evaluator.fine``.  Survivors are processed and yielded
+    in ascending grid order, so hybrid sweeps are deterministic regardless
+    of ``n_jobs`` or completion order (the non-dominated set of a multiset
+    of points does not depend on arrival order).
+    """
+    if not grid:
+        raise ValueError("empty DSE grid")
+    grid = {name: tuple(values) for name, values in grid.items()}
+    names = sorted(grid)
+    base_config = base_config or VITCOD_DEFAULT
+    n_jobs = _resolve_n_jobs(n_jobs)
+
+    coarse_objectives = frontier.objectives if frontier is not None else \
+        ("seconds", "energy_joules")
+    coarse_front = ParetoFront(objectives=coarse_objectives)
+    grid_index = {}  # id(point) -> grid index (points are unique objects)
+    for index, point in _iter_indexed_points(workload, grid, base_config,
+                                             n_jobs, chunksize,
+                                             evaluator.coarse):
+        if coarse_front.offer(point):
+            grid_index[id(point)] = index
+
+    survivors = sorted(
+        ((grid_index[id(point)], point) for point in coarse_front.points),
+        key=lambda pair: pair[0],
+    )
+    indexed = (
+        (index, tuple(dict(point.parameters)[name] for name in names))
+        for index, point in survivors
+    )
+    # Survivor counts are small and each point is expensive: one point per
+    # task maximises fan-out.
+    rescored = _stream_evaluations(
+        workload, base_config, names, indexed,
+        min(n_jobs, max(len(survivors), 1)), 1, evaluator.fine,
+    )
+    for index, point in sorted(rescored, key=lambda pair: pair[0]):
         if frontier is not None and not frontier.offer(point):
             continue
         yield point
@@ -279,13 +432,18 @@ def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
 
 def sweep_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
                        base_config: HardwareConfig = None,
-                       n_jobs: int = 1) -> List[DesignPoint]:
+                       n_jobs: int = 1, evaluator=None) -> List[DesignPoint]:
     """Evaluate the cross product of ``grid`` on ``workload``, eagerly.
 
     A drained, re-ordered :func:`iter_design_space`: ``n_jobs`` fans grid
     points across worker processes (``None`` means one per CPU); results
     are returned in grid order regardless, and a parallel sweep returns
-    exactly what the serial sweep would.
+    exactly what the serial sweep would.  ``evaluator`` selects the
+    scoring strategy (``"analytical"`` default, ``"cycle"``, ``"hybrid"``
+    or an :class:`~repro.sim.evaluator.Evaluator`); hybrid sweeps return
+    only the re-scored frontier survivors.  Points whose evaluator raised
+    are dropped (with a :class:`RuntimeWarning`), so the result can be
+    shorter than the grid.
 
     Example
     -------
@@ -298,20 +456,23 @@ def sweep_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
     # and inside the streaming engine, so one-shot iterables must not be
     # consumed twice.
     grid = {name: tuple(values) for name, values in grid.items()}
+    evaluator = resolve_evaluator(evaluator)
+    if isinstance(evaluator, HybridEvaluator):
+        # The hybrid stream already arrives in deterministic grid order.
+        return list(iter_design_space(workload, grid, base_config,
+                                      n_jobs=n_jobs, evaluator=evaluator))
     names, combos = _resolve_grid(grid)
     combos = list(combos)
-    if n_jobs is None:
-        n_jobs = os.cpu_count() or 1
-    n_jobs = max(1, min(int(n_jobs), len(combos)))
-    # One chunk per worker (the historical sweep batching): the workload is
-    # pickled once per chunk and every worker gets one task.
+    n_jobs = min(_resolve_n_jobs(n_jobs), len(combos))
+    # One chunk per worker (the historical sweep batching): every worker
+    # gets one task over the seeded workload.
     chunksize = -(-len(combos) // n_jobs) if combos else 1
     indexed = _iter_indexed_points(workload, grid, base_config, n_jobs,
-                                   chunksize=chunksize)
+                                   chunksize=chunksize, evaluator=evaluator)
     points: List[DesignPoint] = [None] * len(combos)
     for index, point in indexed:
         points[index] = point
-    return points
+    return [point for point in points if point is not None]
 
 
 def _pareto_mask_sorted_2d(values: np.ndarray) -> np.ndarray:
@@ -372,10 +533,11 @@ def pareto_frontier(points: Sequence[DesignPoint],
 
 def sensitivity(workload: ModelWorkload, parameter, values,
                 base_config: HardwareConfig = None,
-                n_jobs: int = 1) -> List[dict]:
+                n_jobs: int = 1, evaluator=None) -> List[dict]:
     """One-dimensional sensitivity: latency/energy vs one parameter."""
     points = sweep_design_space(workload, {parameter: list(values)},
-                                base_config=base_config, n_jobs=n_jobs)
+                                base_config=base_config, n_jobs=n_jobs,
+                                evaluator=evaluator)
     return [
         {
             parameter: p.parameter(parameter),

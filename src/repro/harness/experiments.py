@@ -32,7 +32,6 @@ from ..roofline import sddmm_roofline_points, ridge_intensity
 from ..sparsity import (
     metrics,
     prune_attention_map,
-    reorder_attention_map,
     split_and_conquer,
     synthetic_nlp_attention,
     synthetic_vit_attention,

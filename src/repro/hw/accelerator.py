@@ -303,7 +303,8 @@ class ViTCoDAccelerator(ModelSimulatorBase):
             out_ratio = (2 * self.ae_compression + 1) / 3
             encode_macs = int(gemm.m * gemm.n * (2 / 3) * self.ae_compression)
 
-        traffic = gemm.weight_bytes(b) + gemm.m * gemm.k * b + gemm.m * gemm.n * b * out_ratio
+        traffic = (gemm.weight_bytes(b) + gemm.m * gemm.k * b
+                   + gemm.m * gemm.n * b * out_ratio)
         phase = max(compute, traffic / cfg.bytes_per_cycle)
 
         latency = LatencyBreakdown(

@@ -9,7 +9,7 @@ its dense (QKV projection / MLP) GEMMs for end-to-end simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn.autograd import Tensor
 from ..nn.modules import Module, Linear
 
 __all__ = ["MultiHeadSelfAttention"]

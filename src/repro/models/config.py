@@ -15,8 +15,8 @@ Two scales coexist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 __all__ = ["StageSpec", "ModelConfig", "MODEL_REGISTRY", "get_config", "list_models"]
 

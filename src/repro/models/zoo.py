@@ -14,7 +14,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..nn import functional as F
-from ..nn.autograd import Tensor, no_grad
+from ..nn.autograd import no_grad
 from ..nn.data import SyntheticPatchDataset, SyntheticPoseDataset, iterate_minibatches
 from ..nn.optim import Adam
 from .config import ModelConfig, get_config

@@ -68,7 +68,8 @@ class SyntheticPatchDataset:
             self.num_tokens, size=self.num_salient, replace=False
         )
         prototypes = rng.standard_normal((self.num_classes, self.patch_dim)) * 1.5
-        texture = rng.standard_normal((self.num_classes, self.num_tokens, self.patch_dim)) * 0.4
+        texture = rng.standard_normal(
+            (self.num_classes, self.num_tokens, self.patch_dim)) * 0.4
 
         self.y = rng.integers(0, self.num_classes, size=self.num_samples)
         base = rng.standard_normal((self.num_samples, self.num_tokens, self.patch_dim))

@@ -14,6 +14,8 @@ from .cache import (
     cached_model_workload,
     cached_synthetic_attention_workload,
     clear_workload_cache,
+    seed_worker_workload,
+    seeded_workload,
     workload_cache,
     workload_cache_stats,
 )
@@ -25,6 +27,8 @@ __all__ = [
     "cached_model_workload",
     "cached_synthetic_attention_workload",
     "clear_workload_cache",
+    "seed_worker_workload",
+    "seeded_workload",
     "workload_cache",
     "workload_cache_stats",
     "BenchResult",

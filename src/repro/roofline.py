@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 from .hw.params import VITCOD_DEFAULT, HardwareConfig
 
-__all__ = ["RooflinePoint", "attainable_gops", "sddmm_roofline_points", "ridge_intensity"]
+__all__ = ["RooflinePoint", "attainable_gops", "sddmm_roofline_points",
+           "ridge_intensity"]
 
 
 @dataclass(frozen=True)

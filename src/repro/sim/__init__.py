@@ -33,10 +33,25 @@ dense-path simulator) rather than rewriting the loops; fast batched
 implementations (the cycle simulator's one-scan whole-model pipeline, the
 analytical model's array geometry) override the driver method itself and
 are tested bit-for-bit against the base class's fold.
+
+Design-space exploration plugs into the same layer through the
+:class:`~repro.sim.evaluator.Evaluator` protocol (:mod:`repro.sim.evaluator`):
+a strategy mapping ``(workload, config, accel_kwargs)`` to the objective
+metrics a DSE point is built from, with analytical, cycle-accurate and
+hybrid (analytical-prune, cycle-rescore) built-ins.
 """
 
 from .protocol import ModelSimulator, Simulator
 from .engine import AttentionSimulatorBase, ModelSimulatorBase, merge_results
+from .evaluator import (
+    AnalyticalEvaluator,
+    CycleSimEvaluator,
+    EvalMetrics,
+    Evaluator,
+    HybridEvaluator,
+    UnsupportedParameterError,
+    resolve_evaluator,
+)
 
 __all__ = [
     "Simulator",
@@ -44,4 +59,11 @@ __all__ = [
     "AttentionSimulatorBase",
     "ModelSimulatorBase",
     "merge_results",
+    "Evaluator",
+    "EvalMetrics",
+    "UnsupportedParameterError",
+    "AnalyticalEvaluator",
+    "CycleSimEvaluator",
+    "HybridEvaluator",
+    "resolve_evaluator",
 ]

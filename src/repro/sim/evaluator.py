@@ -1,0 +1,222 @@
+"""Pluggable design-point evaluators for design-space exploration.
+
+A DSE sweep walks a grid of hardware configurations and scores each one on
+a workload.  *How* a point is scored is a strategy, captured by the
+:class:`Evaluator` protocol: a callable mapping ``(workload, config,
+accel_kwargs)`` to :class:`EvalMetrics` (the ``seconds`` / ``energy_joules``
+pair a :class:`~repro.harness.dse.DesignPoint` is built from).  The DSE
+engine (:mod:`repro.harness.dse`) is written against this surface only, so
+any simulator — analytical, event-driven, or a future external one — can
+stream through :func:`~repro.harness.dse.iter_design_space` unchanged.
+
+Three built-ins cover the repo's simulators:
+
+* :class:`AnalyticalEvaluator` — the closed-form
+  :class:`~repro.hw.accelerator.ViTCoDAccelerator` phase model (the
+  default; behaviour-identical to the pre-evaluator sweeps);
+* :class:`CycleSimEvaluator` — the event-driven
+  :class:`~repro.hw.cycle_sim.CycleAccurateSimulator`, the repo's ground
+  truth: latency is the simulated makespan, energy is charged from the
+  workload's MAC/softmax counts plus the simulator's observed DRAM
+  occupancy with the same :class:`~repro.hw.params.EnergyTable` constants
+  the analytical model uses;
+* :class:`HybridEvaluator` — a two-phase strategy the DSE engine
+  special-cases: prune the grid with the cheap analytical model, then
+  re-score only the surviving frontier cycle-accurately.  Called directly
+  on one point it scores with its fine evaluator.
+
+Evaluator instances cross process boundaries in parallel sweeps, so they
+must be picklable (the built-ins are plain objects with scalar state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "EvalMetrics",
+    "Evaluator",
+    "UnsupportedParameterError",
+    "AnalyticalEvaluator",
+    "CycleSimEvaluator",
+    "HybridEvaluator",
+    "resolve_evaluator",
+]
+
+
+class UnsupportedParameterError(ValueError):
+    """A swept parameter the evaluator cannot honour (a caller bug).
+
+    The DSE engine re-raises this instead of warn-and-dropping the point:
+    a grid that sweeps a knob the chosen evaluator does not model is a
+    structurally invalid sweep, not a transient per-point failure.
+    """
+
+
+@dataclass(frozen=True)
+class EvalMetrics:
+    """The objective values one evaluator assigns to one design point."""
+
+    seconds: float
+    energy_joules: float
+
+
+@runtime_checkable
+class Evaluator(Protocol):
+    """Strategy scoring one ``(workload, config, accel_kwargs)`` triple.
+
+    ``accel_kwargs`` are the non-:class:`~repro.hw.params.HardwareConfig`
+    knobs routed by the DSE parameter table (``use_ae``, ``ae_compression``,
+    ``q_forwarding_hit_rate``); an evaluator that cannot honour a knob must
+    raise rather than silently ignore it.
+    """
+
+    name: str
+
+    def __call__(self, workload: Any, config: Any, accel_kwargs: dict) -> EvalMetrics:
+        ...
+
+
+def _attention_layers(workload):
+    """The attention layers of a ModelWorkload (or a bare layer sequence)."""
+    return getattr(workload, "attention_layers", workload)
+
+
+class AnalyticalEvaluator:
+    """Score points with the closed-form ViTCoD phase model (the default).
+
+    Exactly the evaluation the pre-evaluator sweeps ran: construct a
+    :class:`~repro.hw.accelerator.ViTCoDAccelerator` at the design point
+    and read ``seconds`` / ``energy_joules`` off its attention report —
+    results are bit-identical to the historical sweep output.
+    """
+
+    name = "analytical"
+
+    def __call__(self, workload, config, accel_kwargs):
+        from ..hw.accelerator import ViTCoDAccelerator
+
+        accel = ViTCoDAccelerator(config=config, **accel_kwargs)
+        report = accel.simulate_attention(workload)
+        return EvalMetrics(seconds=report.seconds, energy_joules=report.energy_joules)
+
+
+class CycleSimEvaluator:
+    """Score points with the event-driven cycle simulator (ground truth).
+
+    Latency is the simulated makespan of the whole attention stack.  Energy
+    mirrors the analytical model's charging scheme
+    (:meth:`~repro.hw.accelerator.ViTCoDAccelerator._charge_energy`): MACs
+    and softmax operations are counted from the workload, DRAM bytes from
+    the simulator's observed channel occupancy, SRAM traffic from both, and
+    static power from the makespan — so analytical and cycle-accurate
+    Pareto fronts are comparable point for point.
+
+    Parameters
+    ----------
+    engine:
+        Cycle-simulator engine (``"vectorized"`` default, or ``"scalar"``).
+    scan:
+        Whole-model scan strategy (``"split"`` default, or ``"fused"``).
+    """
+
+    name = "cycle"
+
+    #: ``accel_kwargs`` the cycle simulator can honour; anything else (e.g.
+    #: ``q_forwarding_hit_rate``, which only the analytical model applies)
+    #: raises instead of silently altering the swept grid's meaning.
+    _SUPPORTED_KWARGS = frozenset({"use_ae", "ae_compression"})
+
+    def __init__(self, engine="vectorized", scan="split"):
+        self.engine = engine
+        self.scan = scan
+
+    def __call__(self, workload, config, accel_kwargs):
+        from ..hw.cycle_sim import CycleAccurateSimulator
+
+        unsupported = set(accel_kwargs) - self._SUPPORTED_KWARGS
+        if unsupported:
+            raise UnsupportedParameterError(
+                "CycleSimEvaluator cannot honour swept parameter(s) "
+                f"{sorted(unsupported)}; the cycle simulator only models "
+                f"{sorted(self._SUPPORTED_KWARGS)}"
+            )
+        sim = CycleAccurateSimulator(
+            config=config, engine=self.engine, scan=self.scan, **accel_kwargs
+        )
+        result = sim.simulate_attention(workload)
+        return EvalMetrics(
+            seconds=config.cycles_to_seconds(result.makespan),
+            energy_joules=self._energy_pj(workload, config, result) * 1e-12,
+        )
+
+    @staticmethod
+    def _energy_pj(workload, config, result):
+        layers = _attention_layers(workload)
+        macs = sum(l.sddmm_macs + l.spmm_macs for l in layers)
+        softmax_ops = sum(l.total_nnz for l in layers)
+        # The DRAM channel moves ``bytes_per_cycle`` each busy cycle, so the
+        # observed occupancy *is* the traffic estimate (burst effects and
+        # all), matching how the event engine charged the time.
+        dram_bytes = result.dram_busy * config.bytes_per_cycle
+        sram_bytes = 2 * dram_bytes + macs * config.bytes_per_element / 4
+        e = config.energy
+        return (
+            macs * e.mac_pj
+            + dram_bytes * e.dram_byte_pj
+            + sram_bytes * e.sram_byte_pj
+            + softmax_ops * e.softmax_op_pj
+            + result.makespan * e.static_pj_per_cycle
+        )
+
+
+class HybridEvaluator:
+    """Prune with a cheap evaluator, re-score survivors with the real one.
+
+    The DSE engine recognises this type and runs the two-phase sweep:
+    every grid point is scored with :attr:`coarse` under incremental
+    Pareto pruning, then only the surviving frontier is re-scored with
+    :attr:`fine` (in deterministic grid order).  Used as a plain evaluator
+    on a single point it simply defers to :attr:`fine`.
+    """
+
+    name = "hybrid"
+
+    def __init__(self, coarse: Evaluator = None, fine: Evaluator = None):
+        self.coarse = coarse if coarse is not None else AnalyticalEvaluator()
+        self.fine = fine if fine is not None else CycleSimEvaluator()
+
+    def __call__(self, workload, config, accel_kwargs):
+        return self.fine(workload, config, accel_kwargs)
+
+
+_BUILTIN_EVALUATORS = {
+    "analytical": AnalyticalEvaluator,
+    "cycle": CycleSimEvaluator,
+    "hybrid": HybridEvaluator,
+}
+
+
+def resolve_evaluator(spec) -> Evaluator:
+    """Normalise an evaluator spec to an :class:`Evaluator` instance.
+
+    ``None`` means the analytical default; strings name a built-in
+    (``"analytical"``, ``"cycle"``, ``"hybrid"``); anything callable is
+    returned as-is.
+    """
+    if spec is None:
+        return AnalyticalEvaluator()
+    if isinstance(spec, str):
+        try:
+            return _BUILTIN_EVALUATORS[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown evaluator {spec!r}; choose from "
+                f"{sorted(_BUILTIN_EVALUATORS)} or pass an Evaluator"
+            ) from None
+    if callable(spec):
+        return spec
+    raise TypeError(
+        f"evaluator must be None, a name, or a callable, got {type(spec)!r}"
+    )

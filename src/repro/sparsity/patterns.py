@@ -55,7 +55,8 @@ def synthetic_vit_attention(
         scores = base + band
         k = max(1, num_global_tokens + int(rng.integers(-1, 2)))
         global_cols = rng.choice(n, size=min(k, n), replace=False)
-        scores[:, global_cols] += global_strength * (0.75 + 0.5 * rng.random(len(global_cols)))
+        scores[:, global_cols] += global_strength * (
+            0.75 + 0.5 * rng.random(len(global_cols)))
         maps[h] = scores / scores.sum(axis=-1, keepdims=True)
     return maps
 

@@ -35,7 +35,8 @@ def find_global_tokens(mask, theta_d):
     if mask.ndim == 3:
         column_nnz = mask.sum(axis=(0, 1))
         n = mask.shape[-1]
-        threshold = theta_d * mask.shape[0] if theta_d >= 1 else theta_d * mask.shape[0] * n
+        threshold = (theta_d * mask.shape[0] if theta_d >= 1
+                     else theta_d * mask.shape[0] * n)
     elif mask.ndim == 2:
         column_nnz = mask.sum(axis=0)
         n = mask.shape[-1]

@@ -8,7 +8,7 @@ installation) and the accelerator's workload split.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

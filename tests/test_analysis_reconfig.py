@@ -4,7 +4,7 @@ cost model."""
 import numpy as np
 import pytest
 
-from repro.compiler import compile_layers, parse_layers
+from repro.compiler import parse_layers
 from repro.compiler.reconfig import (
     amortized_overhead,
     break_even_inferences,

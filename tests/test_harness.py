@@ -1,7 +1,6 @@
 """Tests for the experiment harness: every figure/table runner works and its
 headline claims point the right way."""
 
-import numpy as np
 import pytest
 
 from repro.harness import (

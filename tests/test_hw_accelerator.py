@@ -1,11 +1,9 @@
 """Tests for the ViTCoD accelerator simulator (repro.hw.accelerator)."""
 
-import numpy as np
 import pytest
 
 from repro.hw import (
     GemmWorkload,
-    HardwareConfig,
     ViTCoDAccelerator,
     dense_attention_workload,
     model_workload,

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hw import (
-    Allocation,
     LatencyBreakdown,
     EnergyBreakdown,
     SimReport,

@@ -1,13 +1,10 @@
 """Tests for workload construction (repro.hw.workload) and hardware params."""
 
-import numpy as np
 import pytest
 
 from repro.hw import (
     VITCOD_DEFAULT,
-    AttentionWorkload,
     GemmWorkload,
-    HardwareConfig,
     HeadWorkload,
     attention_workload_from_masks,
     dense_attention_workload,
@@ -15,7 +12,6 @@ from repro.hw import (
     synthetic_attention_workload,
 )
 from repro.models import get_config
-from repro.sparsity import split_and_conquer, synthetic_vit_attention
 
 
 class TestHardwareConfig:

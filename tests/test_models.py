@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.models import (
-    MODEL_REGISTRY,
     NLP_BERT_BASE,
     StageSpec,
     build_levit,
@@ -13,7 +12,6 @@ from repro.models import (
     get_config,
     list_models,
 )
-from repro.nn import Tensor
 
 
 class TestConfigs:

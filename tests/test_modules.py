@@ -116,7 +116,8 @@ class TestLayerNorm:
 
     def test_gradients(self, rng):
         ln = LayerNorm(5)
-        (ln(Tensor(rng.standard_normal((3, 5)), requires_grad=True)) ** 2).sum().backward()
+        x = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        (ln(x) ** 2).sum().backward()
         assert ln.gamma.grad is not None and ln.beta.grad is not None
 
 

@@ -18,7 +18,11 @@ class TestKeyedCache:
     def test_builds_once(self):
         cache = KeyedCache()
         calls = []
-        build = lambda: calls.append(1) or "value"
+
+        def build():
+            calls.append(1)
+            return "value"
+
         assert cache.get_or_build("k", build) == "value"
         assert cache.get_or_build("k", build) == "value"
         assert len(calls) == 1

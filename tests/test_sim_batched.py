@@ -123,6 +123,79 @@ class TestCycleSimBatched:
             )
 
 
+def assert_fused_equals_split(layers, **sim_kwargs):
+    """Fused (2L × jobs) scans == per-engine split scans, bit for bit."""
+    fused = CycleAccurateSimulator(scan="fused", **sim_kwargs)
+    split = CycleAccurateSimulator(scan="split", **sim_kwargs)
+    a = fused.simulate_attention(layers)
+    b = split.simulate_attention(layers)
+    assert dataclasses.astuple(a) == dataclasses.astuple(b)
+    return a
+
+
+class TestFusedScan:
+    """One (2L × jobs) compute scan + one (L × jobs) softmax scan must be
+    indistinguishable from the per-engine scans (and hence from the scalar
+    event loop, which the split path is already held to)."""
+
+    def test_split_is_the_default(self):
+        """Measured choice: split is the width-banded optimum (the fused
+        fold pads the ~15×-narrower denser engine to the sparser width)."""
+        assert CycleAccurateSimulator().scan == "split"
+
+    def test_unknown_scan_rejected(self):
+        with pytest.raises(ValueError, match="unknown scan"):
+            CycleAccurateSimulator(scan="diagonal")
+
+    @pytest.mark.parametrize("model", ["deit-tiny", "levit-128"])
+    def test_models(self, model):
+        wl = model_workload(get_config(model), sparsity=0.9)
+        assert_fused_equals_split(wl.attention_layers)
+
+    def test_dense_and_sparse_mix(self):
+        layers = [
+            dense_attention_workload(24, 2, 16),
+            synthetic_attention_workload(48, 2, 16, sparsity=0.9, seed=3),
+            synthetic_attention_workload(48, 2, 16, sparsity=0.7, seed=4),
+        ]
+        assert_fused_equals_split(layers)
+
+    def test_empty_engines(self):
+        """Layers with no denser jobs, no sparser jobs, or no jobs at all
+        exercise the fused scan's zero-width and carry-through paths."""
+        no_denser = AttentionWorkload(
+            num_tokens=8, num_heads=1, head_dim=4,
+            heads=[HeadWorkload(
+                num_tokens=8, head_dim=4, num_global_tokens=0,
+                denser_nnz=0, sparser_nnz=6, sparser_index_bytes=40,
+                sparser_column_nnz=np.array([3, 0, 0, 1, 0, 0, 2, 0]),
+            )],
+        )
+        no_sparser = dense_attention_workload(8, 1, 4)
+        no_jobs = AttentionWorkload(
+            num_tokens=8, num_heads=1, head_dim=4,
+            heads=[HeadWorkload(
+                num_tokens=8, head_dim=4, num_global_tokens=0,
+                denser_nnz=0, sparser_nnz=0, sparser_index_bytes=36,
+                sparser_column_nnz=np.zeros(8, dtype=np.int64),
+            )],
+        )
+        assert_fused_equals_split([no_denser, no_sparser, no_jobs])
+        assert_fused_equals_split([no_jobs])
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_fused_equals_split(self, data):
+        """Random multi-layer stacks: fused == split == scalar, exactly."""
+        num_layers = data.draw(st.integers(1, 4), label="num_layers")
+        layers = [random_layer(data, f"l{i}") for i in range(num_layers)]
+        fused = assert_fused_equals_split(layers)
+        scalar = CycleAccurateSimulator(engine="scalar").simulate_attention(
+            layers
+        )
+        assert dataclasses.astuple(fused) == dataclasses.astuple(scalar)
+
+
 class TestAnalyticalBatched:
     """ViTCoDAccelerator(batched=True) vs the per-layer reference fold."""
 

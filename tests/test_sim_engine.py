@@ -18,7 +18,6 @@ from repro.hw import (
     ViTCoDAccelerator,
     merge_cycle_results,
     model_workload,
-    synthetic_attention_workload,
 )
 from repro.models import get_config
 from repro.sim import (

@@ -13,9 +13,6 @@ from repro.harness import (
     to_json,
 )
 from repro.hw import (
-    EnergyBreakdown,
-    LatencyBreakdown,
-    SimReport,
     ViTCoDAccelerator,
     synthetic_attention_workload,
 )
@@ -169,3 +166,34 @@ class TestCLI:
         assert main(["fig15", "--models", "deit-tiny"]) == 0
         out = capsys.readouterr().out
         assert "MEAN" in out and "sanger" in out
+
+    def test_dse_command(self, capsys):
+        assert main(["dse", "--models", "deit-tiny",
+                     "--grid", "mac_lines=32,64",
+                     "--grid", "ae_compression=none,0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "4 points (analytical evaluator)" in out
+
+    def test_dse_command_cycle_evaluator_json(self, tmp_path, capsys):
+        path = tmp_path / "dse.json"
+        assert main(["dse", "--models", "deit-tiny",
+                     "--grid", "mac_lines=32,64",
+                     "--evaluator", "cycle", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["evaluator"] == "cycle"
+        assert len(data["points"]) == 2
+        assert any(p["pareto"] for p in data["points"])
+
+    def test_dse_grid_parsing(self):
+        from repro.cli import parse_grid
+        grid = parse_grid(["mac_lines=16,32", "ae_compression=none,0.25"])
+        assert grid == {"mac_lines": (16, 32),
+                        "ae_compression": (None, 0.25)}
+        assert parse_grid(None)  # default grid is non-empty
+        with pytest.raises(SystemExit):
+            parse_grid(["mac_lines"])
+        with pytest.raises(SystemExit):
+            parse_grid(["mac_lines=32,"])  # trailing comma
+        with pytest.raises(SystemExit):
+            parse_grid(["mac_lines=fast"])  # non-numeric
