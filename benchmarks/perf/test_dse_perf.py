@@ -121,10 +121,20 @@ def test_cycle_sim_dse(bench_recorder, bench_mode):
     serial = benchit(
         lambda: sweep_design_space(wl, grid, evaluator=evaluator),
         name="cycle_serial", repeats=repeats, warmup=1)
-    parallel = benchit(
+    # Raw pool fan-out (min_parallel_s=0 bypasses the pilot): the number
+    # that exposed the cheap-point regression — vectorized points cost
+    # ~2 ms, so pool dispatch eats the fan-out on grids this small.
+    forced = benchit(
+        lambda: sweep_design_space(wl, grid, evaluator=evaluator,
+                                   n_jobs=n_jobs, min_parallel_s=0.0),
+        name="cycle_parallel_forced", repeats=repeats, warmup=1)
+    # The adaptive default pilots the first points and stays serial when
+    # the whole sweep is cheaper than spawning workers, so n_jobs > 1 is
+    # no longer a footgun on cheap grids (the fix for the ~0.7× above).
+    adaptive = benchit(
         lambda: sweep_design_space(wl, grid, evaluator=evaluator,
                                    n_jobs=n_jobs),
-        name="cycle_parallel", repeats=repeats, warmup=1)
+        name="cycle_parallel_adaptive", repeats=repeats, warmup=1)
     # Hybrid runs serially: the analytical prune costs well under a
     # millisecond per point, so pool overhead would swamp the phase-1 win
     # (fan-out pays off once per-point cost dwarfs worker dispatch).
@@ -139,11 +149,18 @@ def test_cycle_sim_dse(bench_recorder, bench_mode):
         survivors=len(hybrid_points),
         n_jobs=n_jobs,
         cycle_serial=serial.to_dict(),
-        cycle_parallel=parallel.to_dict(),
+        cycle_parallel_forced=forced.to_dict(),
+        cycle_parallel_adaptive=adaptive.to_dict(),
         hybrid_serial=hybrid.to_dict(),
-        speedup_parallel=serial.best / parallel.best,
+        speedup_parallel_forced=serial.best / forced.best,
+        speedup_parallel_adaptive=serial.best / adaptive.best,
         speedup_hybrid_vs_full_cycle=serial.best / hybrid.best,
     )
     if full:
         speedup = serial.best / hybrid.best
         assert speedup >= 2.0, f"hybrid sweep only {speedup:.2f}x"
+        # The adaptive path must never lose much to the serial sweep:
+        # its pilot is two points of real work plus one timing call.
+        adaptive_ratio = serial.best / adaptive.best
+        assert adaptive_ratio >= 0.8, \
+            f"adaptive n_jobs sweep regressed to {adaptive_ratio:.2f}x"

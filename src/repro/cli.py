@@ -8,6 +8,15 @@ Runs any of the paper's experiments headlessly and prints/export results:
     python -m repro polarize --tokens 197 --heads 12
     python -m repro dse --models deit-tiny --evaluator cycle --n-jobs 4
     python -m repro list
+
+Sharded sweeps (see :mod:`repro.dist`) split one DSE study across
+processes or hosts that share a store directory:
+
+    python -m repro dse-shard --shard 1/3 --out store/ --evaluator cycle
+    python -m repro dse-shard --shard 2/3 --out store/ --evaluator cycle
+    python -m repro dse-shard --shard 3/3 --out store/ --evaluator cycle
+    python -m repro dse-status store/
+    python -m repro dse-merge store/ --json merged.json
 """
 
 from __future__ import annotations
@@ -34,6 +43,9 @@ EXPERIMENTS = {
     "roofline": "alias of fig3 with ASCII plot",
     "polarize": "run Algorithm 1 and draw the mask",
     "dse": "design-space sweep + Pareto frontier",
+    "dse-shard": "evaluate one K/N shard of a sweep into a result store",
+    "dse-merge": "merge a sharded store into the full sweep + frontier",
+    "dse-status": "per-shard progress of a sharded sweep store",
 }
 
 #: Default grid of the ``dse`` command (overridable with ``--grid``).
@@ -82,6 +94,8 @@ def build_parser():
     )
     parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["list"],
                         help="experiment to run")
+    parser.add_argument("store", nargs="?", default=None,
+                        help="dse-merge/dse-status: result-store directory")
     parser.add_argument("--sparsity", type=float, default=0.9,
                         help="attention sparsity target (default 0.9)")
     parser.add_argument("--models", nargs="*", default=None,
@@ -106,12 +120,63 @@ def build_parser():
                              "ae_compression=none,0.5")
     parser.add_argument("--n-jobs", type=int, default=1,
                         help="dse: parallel evaluation workers (default 1)")
+    parser.add_argument("--shard", metavar="K/N", default=None,
+                        help="dse-shard: which shard of an N-way "
+                             "partition this process evaluates")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="dse-shard: result-store directory (shared "
+                             "by every shard of the study)")
     return parser
+
+
+def _dse_result(model, sparsity, evaluator_name, grid, points):
+    """Print the DSE point table and build the JSON payload.
+
+    Shared by ``dse`` and ``dse-merge`` so a merged sharded study renders
+    and serialises exactly like the single-process sweep it reproduces
+    (the CI smoke job asserts the two JSON payloads' points are equal).
+    """
+    from .harness.dse import pareto_frontier
+
+    frontier = set(map(id, pareto_frontier(points)))
+    names_ = sorted(grid)
+    print(harness.format_table(
+        names_ + ["seconds", "energy_J", "EDP", "pareto"],
+        [[p.parameter(n) for n in names_]
+         + [p.seconds, p.energy_joules, p.edp,
+            "*" if id(p) in frontier else ""]
+         for p in points],
+        float_fmt="{:.3e}",
+    ))
+    print(f"\n{len(points)} points ({evaluator_name} evaluator), "
+          f"{len(frontier)} on the Pareto frontier")
+    return {
+        "model": model,
+        "sparsity": sparsity,
+        "evaluator": evaluator_name,
+        "grid": {k: list(v) for k, v in grid.items()},
+        "points": [
+            {
+                "parameters": dict(p.parameters),
+                "seconds": p.seconds,
+                "energy_joules": p.energy_joules,
+                "edp": p.edp,
+                "pareto": id(p) in frontier,
+            }
+            for p in points
+        ],
+    }
 
 
 def _run(args):
     models = tuple(args.models) if args.models else harness.DEFAULT_MODELS
     name = args.experiment
+    if args.store is not None and name not in ("dse-shard", "dse-merge",
+                                               "dse-status"):
+        raise SystemExit(
+            f"unexpected positional argument {args.store!r}: only "
+            "dse-shard/dse-merge/dse-status take a store directory"
+        )
     if name == "list":
         for key in sorted(EXPERIMENTS):
             print(f"{key:10s} {EXPERIMENTS[key]}")
@@ -210,39 +275,93 @@ def _run(args):
         return result
 
     if name == "dse":
-        from .harness.dse import pareto_frontier, sweep_design_space
+        from .harness.dse import sweep_design_space
         from .perf import cached_model_workload
         model = args.models[0] if args.models else "deit-tiny"
         grid = parse_grid(args.grid)
         workload = cached_model_workload(model, sparsity=args.sparsity)
         points = sweep_design_space(workload, grid, n_jobs=args.n_jobs,
                                     evaluator=args.evaluator)
-        frontier = set(map(id, pareto_frontier(points)))
-        names_ = sorted(grid)
-        print(harness.format_table(
-            names_ + ["seconds", "energy_J", "EDP", "pareto"],
-            [[p.parameter(n) for n in names_]
-             + [p.seconds, p.energy_joules, p.edp,
-                "*" if id(p) in frontier else ""]
-             for p in points],
-            float_fmt="{:.3e}",
-        ))
-        print(f"\n{len(points)} points ({args.evaluator} evaluator), "
-              f"{len(frontier)} on the Pareto frontier")
+        return _dse_result(model, args.sparsity, args.evaluator, grid,
+                           points)
+
+    if name == "dse-shard":
+        from .dist import model_workload_spec, run_shard
+        from .perf import cached_model_workload
+        if not args.shard:
+            raise SystemExit("dse-shard requires --shard K/N")
+        out = args.out or args.store
+        if not out:
+            raise SystemExit("dse-shard requires --out DIR (the store "
+                             "directory shared by every shard)")
+        model = args.models[0] if args.models else "deit-tiny"
+        grid = parse_grid(args.grid)
+        workload = cached_model_workload(model, sparsity=args.sparsity)
+        run = run_shard(
+            workload, grid, args.shard, out, evaluator=args.evaluator,
+            n_jobs=args.n_jobs,
+            workload_spec=model_workload_spec(model, sparsity=args.sparsity),
+        )
+        print(f"shard {run.shard}: {run.evaluated} evaluated, "
+              f"{run.skipped} already in store, {run.failed} failed "
+              f"({run.total} grid points owned)")
+        print(f"store: {run.store}")
         return {
-            "model": model,
-            "sparsity": args.sparsity,
-            "evaluator": args.evaluator,
-            "grid": {k: list(v) for k, v in grid.items()},
-            "points": [
-                {
-                    "parameters": dict(p.parameters),
-                    "seconds": p.seconds,
-                    "energy_joules": p.energy_joules,
-                    "edp": p.edp,
-                    "pareto": id(p) in frontier,
-                }
-                for p in points
+            "shard": str(run.shard),
+            "store": str(run.store),
+            "total": run.total,
+            "evaluated": run.evaluated,
+            "skipped": run.skipped,
+            "failed": run.failed,
+            "complete": run.complete,
+        }
+
+    if name == "dse-merge":
+        from .dist import merge_store
+        store = args.store or args.out
+        if not store:
+            raise SystemExit("dse-merge requires a store directory")
+        merged = merge_store(store, n_jobs=args.n_jobs)
+        manifest = merged.manifest
+        workload_spec = manifest.get("workload", {})
+        print(f"merged {manifest['num_shards']} shards "
+              f"({manifest['grid_size']} grid points, {merged.dropped} "
+              "dropped)")
+        return _dse_result(
+            workload_spec.get("model"),
+            workload_spec.get("sparsity"),
+            manifest["evaluator"]["name"],
+            {k: tuple(v) for k, v in manifest["grid"].items()},
+            list(merged.points),
+        )
+
+    if name == "dse-status":
+        from .dist import store_status
+        store = args.store or args.out
+        if not store:
+            raise SystemExit("dse-status requires a store directory")
+        status = store_status(store)
+        print(harness.format_table(
+            ["shard", "done", "failed", "pending", "total"],
+            [[str(s.shard), s.done, s.failed, s.pending, s.total]
+             for s in status.shards],
+        ))
+        fraction = status.done / max(status.grid_size, 1)
+        line = (f"\n{status.done}/{status.grid_size} grid points done "
+                f"({fraction:.0%}), {status.failed} failed")
+        if status.manifest["evaluator"].get("name") == "hybrid":
+            line += f"; {status.fine_records} survivors fine re-scored"
+        print(line)
+        return {
+            "grid_size": status.grid_size,
+            "done": status.done,
+            "failed": status.failed,
+            "complete": status.complete,
+            "fine_records": status.fine_records,
+            "shards": [
+                {"shard": str(s.shard), "done": s.done,
+                 "failed": s.failed, "total": s.total}
+                for s in status.shards
             ],
         }
 

@@ -1,0 +1,68 @@
+"""Sharded, resumable, multi-host design-space exploration.
+
+Paper-scale cycle-accurate DSE studies outgrow one process: the grid is
+embarrassingly parallel, but an in-memory sweep ties the whole study's
+lifetime to one machine staying up.  This package turns a sweep into a
+restartable *pipeline* over durable artifacts instead:
+
+1. **shard** — the deterministic grid indexing of
+   :mod:`repro.harness.dse` is the partition key: shard ``K/N`` owns a
+   fixed, stateless index set (:mod:`repro.dist.sharding`), so any mix
+   of hosts/processes can each run ``python -m repro dse-shard --shard
+   K/N --out store/`` against a shared directory with no coordinator;
+2. **persist** — every evaluated point becomes one JSONL completion
+   record in the store (:mod:`repro.dist.store`): append-only, flushed
+   per point, tolerant of a killed writer's truncated last line.
+   Re-running a shard skips every index already recorded — checkpoint /
+   resume for free;
+3. **merge** — ``dse-merge store/`` verifies the shards tiled the grid
+   exactly once and reconstructs the single-process
+   :func:`~repro.harness.dse.sweep_design_space` output **bit for bit**
+   (points, grid ordering, Pareto frontier) for the analytical, cycle
+   and hybrid evaluators — hybrid studies shard the cheap coarse phase
+   and the merge host re-scores the surviving frontier, resumably
+   (:mod:`repro.dist.merge`);
+4. **observe** — ``dse-status store/`` reports per-shard progress
+   without touching an evaluator.
+
+The same machinery scales *down* to one box: N local processes sharding
+one store are how the shard-scaling benchmark
+(``benchmarks/perf/test_dist_perf.py``) and the CI smoke job exercise
+the multi-host path.
+"""
+
+from .merge import (MergeResult, ShardStatus, StoreStatus, merge_store,
+                    store_status)
+from .runner import (ShardRunResult, model_workload_spec, run_shard,
+                     workload_fingerprint, workload_from_spec)
+from .sharding import ShardSpec, shard_indices
+from .store import (IncompleteStoreError, JsonlAppender, ResultStore,
+                    StoreCorruptError, StoreError, StoreMismatchError,
+                    build_manifest, config_from_dict, config_to_dict,
+                    decode_record, encode_record)
+
+__all__ = [
+    "ShardSpec",
+    "shard_indices",
+    "ResultStore",
+    "JsonlAppender",
+    "StoreError",
+    "StoreCorruptError",
+    "StoreMismatchError",
+    "IncompleteStoreError",
+    "build_manifest",
+    "config_to_dict",
+    "config_from_dict",
+    "encode_record",
+    "decode_record",
+    "ShardRunResult",
+    "run_shard",
+    "model_workload_spec",
+    "workload_from_spec",
+    "workload_fingerprint",
+    "MergeResult",
+    "merge_store",
+    "ShardStatus",
+    "StoreStatus",
+    "store_status",
+]

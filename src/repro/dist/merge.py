@@ -1,0 +1,280 @@
+"""Fold sharded result stores back into single-process sweep output.
+
+:func:`merge_store` reads every shard file of a store, verifies the
+partition actually covered the grid (each index exactly once — a missing
+or double-counted point is an error, not a silent gap), and reconstructs
+the exact output of :func:`repro.harness.dse.sweep_design_space` on the
+same grid: the full :class:`~repro.harness.dse.DesignPoint` table in
+deterministic grid order and its Pareto frontier, **bit for bit** —
+records round-trip through JSON's shortest-repr floats, failures are
+dropped with the same :class:`RuntimeWarning` the in-memory sweep emits,
+and frontier construction sees points in the same (grid) order.
+
+Hybrid studies shard their cheap *coarse* phase; the expensive fine
+re-score of the surviving frontier happens here, on the merge host, with
+the same resume machinery shards use (survivor records accumulate in
+``fine-rescore.jsonl``, so an interrupted merge re-scores only missing
+survivors).
+
+:func:`store_status` is the monitoring companion: per-shard completion
+counts without touching any evaluator.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..harness.dse import (DesignPoint, PointFailure, _hybrid_survivors,
+                           iter_indexed_design_points, pareto_frontier)
+from ..sim.evaluator import HybridEvaluator, evaluator_from_spec, \
+    resolve_evaluator
+from .runner import workload_fingerprint, workload_from_spec
+from .sharding import ShardSpec
+from .store import (FINE_NAME, IncompleteStoreError, JsonlAppender,
+                    ResultStore, StoreCorruptError, StoreMismatchError,
+                    config_from_dict, decode_record, encode_record)
+
+__all__ = ["MergeResult", "merge_store", "ShardStatus", "StoreStatus",
+           "store_status"]
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """A merged study: the single-process sweep's output, reconstructed."""
+
+    points: Tuple[DesignPoint, ...]  # deterministic grid order
+    frontier: Tuple[DesignPoint, ...]  # pareto_frontier(points)
+    manifest: dict
+    dropped: int  # failure records dropped (mirrors the sweep's warns)
+
+
+def _drop_failure(index, failure: PointFailure):
+    """Mirror :func:`repro.harness.dse._filter_failures`' warning."""
+    warnings.warn(
+        f"DSE point {index} {dict(failure.parameters)!r} dropped: "
+        f"evaluator raised {failure.error}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _load_merged_records(store: ResultStore, manifest: dict) -> dict:
+    """Every shard's records as one ``index -> record`` map, verified.
+
+    Checks the three partition invariants: all files belong to this
+    store's ``N``-way partition, no index appears in two shards, and no
+    index is missing — the definition of "the shards covered the grid
+    exactly once".
+    """
+    num_shards = manifest["num_shards"]
+    size = manifest["grid_size"]
+    records: dict = {}
+    for shard_index, shard_count, path in store.shard_files():
+        if shard_count != num_shards:
+            raise StoreMismatchError(
+                f"{path.name} belongs to a /{shard_count} partition but "
+                f"the store was created for /{num_shards}"
+            )
+        owned = set(ShardSpec(shard_index, shard_count).indices(size))
+        for index, record in store.load_records(path).items():
+            if index not in owned:
+                raise StoreCorruptError(
+                    f"{path.name} holds grid index {index}, which shard "
+                    f"{shard_index}/{shard_count} does not own"
+                )
+            if index in records:
+                raise StoreCorruptError(
+                    f"grid index {index} appears in multiple shard files"
+                )
+            records[index] = record
+    if len(records) < size:
+        missing = size - len(records)
+        raise IncompleteStoreError(
+            f"store holds {len(records)} of {size} grid points "
+            f"({missing} missing); run the remaining shards "
+            "(see `python -m repro dse-status`)"
+        )
+    return records
+
+
+def merge_store(store, workload=None, evaluator=None,
+                n_jobs: int = 1) -> MergeResult:
+    """Merge a complete sharded store into the single-process sweep result.
+
+    For analytical/cycle studies this touches no evaluator: records are
+    decoded in grid order and the frontier recomputed.  For hybrid
+    studies the store holds the sharded *coarse* scores; the global
+    coarse frontier is pruned here and its survivors re-scored with the
+    fine evaluator (resumable via ``fine-rescore.jsonl``), reproducing
+    ``sweep_design_space(..., evaluator="hybrid")`` exactly.
+
+    ``workload`` / ``evaluator`` are only needed for hybrid studies, and
+    only when the manifest cannot supply them (an opaque workload spec, a
+    custom evaluator); built-in setups reconstruct both from the
+    manifest.
+    """
+    store = ResultStore(store)
+    manifest = store.read_manifest()
+    records = _load_merged_records(store, manifest)
+
+    pairs = []  # (grid_index, DesignPoint) with failures dropped
+    dropped = 0
+    for index in range(manifest["grid_size"]):
+        record_index, result = decode_record(records[index])
+        if record_index != index:
+            raise StoreCorruptError(
+                f"record indexed {index} decodes to {record_index}"
+            )
+        if isinstance(result, PointFailure):
+            _drop_failure(index, result)
+            dropped += 1
+            continue
+        pairs.append((index, result))
+
+    if manifest["evaluator"].get("name") == "hybrid":
+        points, fine_dropped = _fine_rescore(
+            store, manifest, pairs, workload, evaluator, n_jobs
+        )
+        dropped += fine_dropped
+    else:
+        points = [point for _, point in pairs]
+    return MergeResult(
+        points=tuple(points),
+        frontier=tuple(pareto_frontier(points)),
+        manifest=manifest,
+        dropped=dropped,
+    )
+
+
+def _fine_rescore(store, manifest, pairs, workload, evaluator, n_jobs):
+    """Hybrid phase 2 on the merge host: re-score the coarse frontier.
+
+    Survivor selection is the shared
+    :func:`repro.harness.dse._hybrid_survivors` rule over the merged
+    coarse scores in grid order (the non-dominated set of a multiset is
+    arrival-order independent, so sharded execution order cannot change
+    it).  Fine scores append to the store like any shard file, so an
+    interrupted merge resumes.
+    """
+    if evaluator is None:
+        evaluator = evaluator_from_spec(manifest["evaluator"])
+    else:
+        evaluator = resolve_evaluator(evaluator)
+    if not isinstance(evaluator, HybridEvaluator):
+        raise ValueError(
+            "merging a hybrid store needs a HybridEvaluator "
+            f"(got {type(evaluator)!r})"
+        )
+    workload_spec = manifest.get("workload") or {}
+    if workload is None:
+        workload = workload_from_spec(workload_spec)
+    expected = workload_spec.get("fingerprint")
+    if expected is not None and workload_fingerprint(workload) != expected:
+        raise StoreMismatchError(
+            "the workload passed to merge_store does not match the "
+            "structure fingerprint the store's shards were run against"
+        )
+    base_config = config_from_dict(manifest["base_config"])
+    grid = {name: tuple(values) for name, values in
+            manifest["grid"].items()}
+
+    survivors = [index for index, _ in _hybrid_survivors(pairs)]
+
+    done = store.load_records(store.fine_path)
+    todo = [index for index in survivors if index not in done]
+    if todo:
+        if n_jobs is None:
+            n_jobs = os.cpu_count() or 1
+        with JsonlAppender(store.fine_path) as out:
+            # One survivor per task, as the in-memory hybrid sweep does:
+            # survivor counts are small and each point is expensive.
+            for index, result in iter_indexed_design_points(
+                    workload, grid, todo, base_config=base_config,
+                    n_jobs=min(max(1, int(n_jobs)), len(todo)), chunksize=1,
+                    evaluator=evaluator.fine, keep_failures=True):
+                out.append(encode_record(index, result))
+        done = store.load_records(store.fine_path)
+
+    points = []
+    dropped = 0
+    for index in survivors:
+        if index not in done:
+            raise IncompleteStoreError(
+                f"{FINE_NAME} is missing survivor {index} after re-score"
+            )
+        _, result = decode_record(done[index])
+        if isinstance(result, PointFailure):
+            _drop_failure(index, result)
+            dropped += 1
+            continue
+        points.append(result)
+    return points, dropped
+
+
+# ----------------------------------------------------------------------
+# Status
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardStatus:
+    """Progress of one shard (a shard with no file yet reads all-pending)."""
+
+    shard: ShardSpec
+    total: int
+    done: int  # completion records present (scored + failed)
+    failed: int
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.done
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.total
+
+
+@dataclass(frozen=True)
+class StoreStatus:
+    """Whole-store progress: per-shard counts plus study totals."""
+
+    manifest: dict
+    shards: Tuple[ShardStatus, ...]
+    fine_records: int  # hybrid re-score progress (0 for plain studies)
+
+    @property
+    def grid_size(self) -> int:
+        return self.manifest["grid_size"]
+
+    @property
+    def done(self) -> int:
+        return sum(s.done for s in self.shards)
+
+    @property
+    def failed(self) -> int:
+        return sum(s.failed for s in self.shards)
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.grid_size
+
+
+def store_status(store) -> StoreStatus:
+    """Inspect a store's progress without evaluating anything."""
+    store = ResultStore(store)
+    manifest = store.read_manifest()
+    size = manifest["grid_size"]
+    statuses = []
+    for k in range(1, manifest["num_shards"] + 1):
+        shard = ShardSpec(k, manifest["num_shards"])
+        records = store.load_records(store.shard_path(shard))
+        owned = set(shard.indices(size))
+        done = sum(1 for index in records if index in owned)
+        failed = sum(1 for index, record in records.items()
+                     if index in owned and "err" in record)
+        statuses.append(ShardStatus(shard=shard, total=len(owned),
+                                    done=done, failed=failed))
+    fine = len(store.load_records(store.fine_path))
+    return StoreStatus(manifest=manifest, shards=tuple(statuses),
+                       fine_records=fine)

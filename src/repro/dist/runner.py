@@ -1,0 +1,185 @@
+"""Shard execution: evaluate one slice of a grid into a durable store.
+
+:func:`run_shard` is the per-host entry point of a distributed study
+(``python -m repro dse-shard`` wraps it): compute the shard's index set,
+skip every index the store already holds a completion record for, stream
+the rest through the shared DSE engine (any pluggable evaluator, optional
+in-host ``n_jobs`` fan-out), and append one record per point as it
+completes.  Killing the process at any moment loses at most the point in
+flight; re-running the same command finishes the shard.
+
+Workload recipes (`workload spec` dicts) make stores portable across
+hosts: instead of pickling a workload, the manifest records *how to build
+it* (model name, sparsity, seed, ...), and every host reconstructs it
+through the process-wide :mod:`repro.perf` cache — so N shards on one
+machine share a single construction, and the merge host can rebuild the
+exact workload for hybrid fine re-scoring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..harness.dse import (PointFailure, grid_size,
+                           iter_indexed_design_points)
+from ..hw.params import VITCOD_DEFAULT
+from ..perf.cache import cached_model_workload, seeded_workload
+from ..sim.evaluator import HybridEvaluator, resolve_evaluator
+from .sharding import ShardSpec
+from .store import JsonlAppender, ResultStore, build_manifest, encode_record
+
+__all__ = ["ShardRunResult", "run_shard", "model_workload_spec",
+           "workload_from_spec", "workload_fingerprint"]
+
+
+def workload_fingerprint(workload) -> str:
+    """Digest of a workload's observable structure (shape + sparsity).
+
+    The guard behind ``{"kind": "opaque"}`` manifests: a workload passed
+    without a reconstruction recipe still pins the store to *this*
+    workload's structure, so two shards run against different workloads
+    cannot silently mix into one study (the manifest comparison fails
+    loudly instead).  Covers everything the evaluators read — per-head
+    polarization statistics and the dense GEMM walk — not Python
+    identity, so equal workloads built on different hosts agree.
+    """
+    parts = [str(getattr(workload, "name", ""))]
+    layers = getattr(workload, "attention_layers", workload)
+    for layer in layers:
+        parts.append(
+            f"L{layer.num_tokens},{layer.num_heads},{layer.head_dim},"
+            f"{int(layer.streaming_fallback)}"
+        )
+        parts.extend(
+            f"h{head.num_global_tokens},{head.denser_nnz},"
+            f"{head.sparser_nnz},{head.sparser_index_bytes},"
+            f"{head.sparser_locality!r}"
+            for head in layer.heads
+        )
+    for gemm in getattr(workload, "linear_layers", ()):
+        parts.append(f"g{gemm.name},{gemm.m},{gemm.k},{gemm.n}")
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
+def model_workload_spec(model, sparsity=0.9, theta_d=0.25, seed=0,
+                        index_format="csc", reordered=True) -> dict:
+    """Recipe for a registry model's workload, for result-store manifests.
+
+    Mirrors :func:`repro.perf.cached_model_workload`'s full parameter
+    tuple — two hosts holding the same spec construct bit-identical
+    workloads (synthetic attention maps are seeded).
+    """
+    return {
+        "kind": "model",
+        "model": str(model),
+        "sparsity": sparsity,
+        "theta_d": theta_d,
+        "seed": seed,
+        "index_format": index_format,
+        "reordered": reordered,
+    }
+
+
+def workload_from_spec(spec):
+    """Build the workload a manifest's spec describes (perf-cache backed).
+
+    Construction routes through :func:`repro.perf.cached_model_workload`,
+    so every shard/merge step in one process — and every evaluator call
+    behind it — shares one workload object and its memoized geometry.
+    """
+    if not spec or spec.get("kind") != "model":
+        raise ValueError(
+            f"store manifest has no reconstructible workload spec "
+            f"({spec!r}); pass workload= explicitly"
+        )
+    return cached_model_workload(
+        spec["model"], sparsity=spec.get("sparsity", 0.9),
+        theta_d=spec.get("theta_d", 0.25), seed=spec.get("seed", 0),
+        index_format=spec.get("index_format", "csc"),
+        reordered=spec.get("reordered", True),
+    )
+
+
+@dataclass(frozen=True)
+class ShardRunResult:
+    """Outcome of one :func:`run_shard` call."""
+
+    shard: ShardSpec
+    store: Path
+    path: Path  # this shard's JSONL file
+    total: int  # grid points owned by the shard
+    evaluated: int  # scored by THIS run
+    skipped: int  # already in the store (resume)
+    failed: int  # failure records now in the shard file
+
+    @property
+    def complete(self) -> bool:
+        return self.evaluated + self.skipped == self.total
+
+
+def run_shard(workload, grid, shard, store, base_config=None,
+              evaluator=None, n_jobs=1, chunksize=None,
+              workload_spec=None) -> ShardRunResult:
+    """Evaluate shard ``K/N`` of ``grid`` into a durable result store.
+
+    Creates (or validates) the store's manifest, loads this shard's
+    existing completion records, and evaluates **only the missing
+    indices** — re-running after a crash, preemption or deliberate kill
+    picks up where the file ends.  Each completed point (or captured
+    evaluator failure) is appended and flushed immediately.
+
+    ``workload=None`` uses the workload a pool initializer seeded into
+    this process (:func:`repro.perf.seed_worker_workload`), mirroring the
+    DSE engine's worker convention.  Hybrid evaluators shard their
+    *coarse* phase here; the fine re-score belongs to the merge step
+    (:func:`repro.dist.merge_store`), which needs the whole grid.
+    ``workload_spec`` (see :func:`model_workload_spec`) is stored in the
+    manifest so other hosts can verify — and the merge host rebuild —
+    the workload.
+    """
+    shard = ShardSpec.parse(shard)
+    grid = {name: tuple(values) for name, values in grid.items()}
+    evaluator = resolve_evaluator(evaluator)
+    point_evaluator = (evaluator.coarse
+                       if isinstance(evaluator, HybridEvaluator)
+                       else evaluator)
+    base_config = base_config or VITCOD_DEFAULT
+    if workload is None:
+        workload = seeded_workload()
+        if workload is None:
+            raise ValueError("workload is required (or seed the process "
+                             "with repro.perf.seed_worker_workload)")
+
+    # Pin the store to this workload's *structure*, recipe or not: two
+    # shards run against different workloads then disagree on the
+    # manifest and fail loudly instead of silently mixing — including a
+    # caller-supplied recipe that does not describe the workload actually
+    # evaluated (the merge host verifies its rebuilt workload against
+    # this same fingerprint).
+    if workload_spec is None:
+        workload_spec = {"kind": "opaque"}
+    workload_spec = {**workload_spec,
+                     "fingerprint": workload_fingerprint(workload)}
+    store = ResultStore(store)
+    store.ensure_manifest(build_manifest(
+        grid, shard.count, evaluator, base_config, workload_spec
+    ))
+    path = store.shard_path(shard)
+    done = store.load_records(path)
+    owned = shard.indices(grid_size(grid))
+    todo = [index for index in owned if index not in done]
+    failed = sum(1 for record in done.values() if "err" in record)
+    with JsonlAppender(path) as out:
+        for index, result in iter_indexed_design_points(
+                workload, grid, todo, base_config=base_config,
+                n_jobs=n_jobs, chunksize=chunksize,
+                evaluator=point_evaluator, keep_failures=True):
+            out.append(encode_record(index, result))
+            if isinstance(result, PointFailure):
+                failed += 1
+    return ShardRunResult(
+        shard=shard, store=store.root, path=path, total=len(owned),
+        evaluated=len(todo), skipped=len(owned) - len(todo), failed=failed,
+    )

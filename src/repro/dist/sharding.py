@@ -1,0 +1,71 @@
+"""Deterministic grid partitioning for multi-host DSE sweeps.
+
+A DSE grid has one canonical linear order (the lexicographic cross-product
+walked by :func:`repro.harness.dse.sweep_design_space`), so each point has
+one integer index — and that index is a *partition key*: shard ``K/N``
+owns exactly the indices ``K-1, K-1+N, K-1+2N, ...``.  The partition is
+
+* **complete and disjoint** — the ``N`` shards tile ``range(size)``
+  exactly once, whatever ``size`` is (property-tested);
+* **stateless** — any host can compute its own index set from ``(K, N)``
+  and the grid alone; no coordinator, queue, or shared lock is needed;
+* **strided, not contiguous** — neighbouring grid indices differ in one
+  swept value, so evaluation cost varies smoothly along the grid;
+  striding deals every shard a representative cross-section instead of
+  handing one shard the all-expensive corner of the grid.
+
+Shards are written ``K/N`` with ``K`` in ``1..N`` (the CLI spelling:
+``python -m repro dse-shard --shard 2/3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ShardSpec", "shard_indices"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of an ``N``-way partition: ``index`` is 1-based."""
+
+    index: int
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 1 <= self.index <= self.count:
+            raise ValueError(
+                f"shard index must be in 1..{self.count}, got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text) -> "ShardSpec":
+        """Parse the ``K/N`` spelling (``"2/3"`` -> shard 2 of 3)."""
+        if isinstance(text, ShardSpec):
+            return text
+        head, sep, tail = str(text).partition("/")
+        try:
+            if not sep:
+                raise ValueError
+            return cls(index=int(head), count=int(tail))
+        except ValueError:
+            raise ValueError(
+                f"bad shard spec {text!r}; expected K/N with 1 <= K <= N "
+                "(e.g. '2/3')"
+            ) from None
+
+    def indices(self, size: int) -> range:
+        """This shard's grid indices in ``range(size)`` (ascending)."""
+        if size < 0:
+            raise ValueError("grid size must be non-negative")
+        return range(self.index - 1, size, self.count)
+
+    def __str__(self):
+        return f"{self.index}/{self.count}"
+
+
+def shard_indices(size: int, shard) -> range:
+    """Convenience: :meth:`ShardSpec.indices` accepting ``"K/N"`` strings."""
+    return ShardSpec.parse(shard).indices(size)

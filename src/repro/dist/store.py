@@ -1,0 +1,375 @@
+"""Durable JSONL result store for sharded DSE sweeps.
+
+A *store* is one directory shared by every shard of one study (locally, or
+via a network filesystem across hosts):
+
+.. code-block:: text
+
+    store/
+      MANIFEST.json              # grid, evaluator, config, workload spec
+      shard-0001-of-0003.jsonl   # one completion record per grid point
+      shard-0002-of-0003.jsonl
+      shard-0003-of-0003.jsonl
+      fine-rescore.jsonl         # hybrid studies: cycle re-scored survivors
+
+Design rules, in order of importance:
+
+* **append-only completion records** — every evaluated grid point becomes
+  one JSON line carrying its grid index, parameters and objectives (or
+  the evaluator's error); a record present in the file is a point that
+  never needs re-evaluating, which is the whole resume story;
+* **atomic-enough writes** — each record is a single ``write`` of one
+  line followed by a flush (an ``fsync`` every few dozen records and at
+  close bounds what an OS crash can lose); a killed writer can leave at
+  most one truncated final line, which loaders tolerate and resumers
+  simply re-evaluate;
+* **bit-exact round-trip** — objectives and parameters are written with
+  Python's shortest-round-trip float repr (what :mod:`json` emits), so a
+  decoded :class:`~repro.harness.dse.DesignPoint` compares equal to the
+  in-memory one, field for field — merged shard stores reproduce a
+  single-process sweep *bit for bit*;
+* **self-describing** — ``MANIFEST.json`` pins the grid, shard count,
+  evaluator spec, hardware base config and workload recipe; a shard
+  launched against a store created for different settings fails loudly
+  (:class:`StoreMismatchError`) instead of silently mixing studies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List
+
+from ..harness.dse import DesignPoint, PointFailure, grid_size
+from ..hw.params import EnergyTable, HardwareConfig
+from ..sim.evaluator import evaluator_spec
+
+__all__ = [
+    "SCHEMA",
+    "StoreError",
+    "StoreCorruptError",
+    "StoreMismatchError",
+    "IncompleteStoreError",
+    "ResultStore",
+    "JsonlAppender",
+    "encode_record",
+    "decode_record",
+    "build_manifest",
+    "config_to_dict",
+    "config_from_dict",
+]
+
+#: Manifest/record schema tag; bump on incompatible layout changes.
+SCHEMA = "repro-dist/1"
+
+MANIFEST_NAME = "MANIFEST.json"
+FINE_NAME = "fine-rescore.jsonl"
+_SHARD_RE = re.compile(r"^shard-(\d{4})-of-(\d{4})\.jsonl$")
+
+#: Records between ``fsync`` calls (every record is flushed; syncing each
+#: one would gate cheap evaluators on disk latency for little extra
+#: safety — a flush already survives process death, only an OS crash can
+#: lose the unsynced tail).
+_FSYNC_EVERY = 64
+
+
+class StoreError(RuntimeError):
+    """Base class for result-store failures."""
+
+
+class StoreCorruptError(StoreError):
+    """A store file violates the format (beyond a truncated final line)."""
+
+
+class StoreMismatchError(StoreError):
+    """A shard was pointed at a store created for different settings."""
+
+
+class IncompleteStoreError(StoreError):
+    """A merge was attempted before every grid point had a record."""
+
+
+def _dump(data) -> str:
+    """Canonical one-line JSON (sorted keys, no spaces, finite floats)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# Completion records
+# ----------------------------------------------------------------------
+def encode_record(index: int, result) -> dict:
+    """One completion record: a scored point or a captured failure.
+
+    Keys are terse on purpose (one record per grid point adds up):
+    ``i`` grid index, ``p`` parameters as ``[name, value]`` pairs, then
+    either ``s``/``e``/``a`` (seconds, energy, area proxy) or ``err``.
+    """
+    if isinstance(result, PointFailure):
+        return {"i": int(index),
+                "p": [[name, value] for name, value in result.parameters],
+                "err": result.error}
+    if isinstance(result, DesignPoint):
+        return {"i": int(index),
+                "p": [[name, value] for name, value in result.parameters],
+                "s": result.seconds, "e": result.energy_joules,
+                "a": result.area_proxy}
+    raise TypeError(
+        f"expected DesignPoint or PointFailure, got {type(result)!r}"
+    )
+
+
+def decode_record(record: dict):
+    """Inverse of :func:`encode_record`: ``(index, DesignPoint|PointFailure)``."""
+    try:
+        index = int(record["i"])
+        parameters = tuple((str(name), value) for name, value in record["p"])
+        if "err" in record:
+            return index, PointFailure(parameters=parameters,
+                                       error=str(record["err"]))
+        return index, DesignPoint(parameters=parameters,
+                                  seconds=record["s"],
+                                  energy_joules=record["e"],
+                                  area_proxy=record["a"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreCorruptError(f"malformed completion record "
+                                f"{record!r}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# Hardware-config round trip (manifests pin the swept base design point)
+# ----------------------------------------------------------------------
+def config_to_dict(config: HardwareConfig) -> dict:
+    """JSON-safe :class:`~repro.hw.params.HardwareConfig` (nested energy)."""
+    return asdict(config)
+
+
+def config_from_dict(data: dict) -> HardwareConfig:
+    """Inverse of :func:`config_to_dict`."""
+    fields = dict(data)
+    fields["energy"] = EnergyTable(**fields["energy"])
+    return HardwareConfig(**fields)
+
+
+def build_manifest(grid, num_shards: int, evaluator, base_config,
+                   workload_spec=None) -> dict:
+    """The settings fingerprint every shard of one study must agree on."""
+    grid = {name: list(values) for name, values in grid.items()}
+    return {
+        "schema": SCHEMA,
+        "grid": grid,
+        "grid_size": grid_size(grid),
+        "num_shards": int(num_shards),
+        "evaluator": evaluator_spec(evaluator),
+        "base_config": config_to_dict(base_config),
+        "workload": dict(workload_spec) if workload_spec else
+                    {"kind": "opaque"},
+    }
+
+
+# ----------------------------------------------------------------------
+# JSONL files
+# ----------------------------------------------------------------------
+class JsonlAppender:
+    """Append-only JSONL writer with per-record flush and periodic fsync.
+
+    Opening for append first *repairs a torn tail*: a writer killed
+    mid-record leaves a final line without a newline, and appending after
+    it would glue the next record onto the damaged line (turning a
+    tolerated truncation into real mid-file corruption).  The repair
+    mirrors :func:`load_jsonl`'s tolerance exactly — whatever the loader
+    counted as a record must survive the repair, or a resumed shard would
+    skip a point the store no longer holds: a tail that parses as JSON
+    (the writer died between the record and its newline) is *terminated*
+    with the missing newline; a tail that does not parse never formed a
+    completion record and is truncated away, leaving its point owed to
+    the store.  One writer per file at a time is the contract (each shard
+    file has exactly one owning process).
+    """
+
+    def __init__(self, path):
+        self._path = Path(path)
+        self._repair_torn_tail()
+        self._fh = open(self._path, "a", encoding="utf-8")
+        self._unsynced = 0
+
+    def _repair_torn_tail(self):
+        if not self._path.exists():
+            return
+        data = self._path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        tail = data[data.rfind(b"\n") + 1:]
+        try:
+            json.loads(tail)
+            complete = True
+        except json.JSONDecodeError:
+            complete = False
+        with open(self._path, "r+b") as fh:
+            if complete:
+                fh.seek(0, os.SEEK_END)
+                fh.write(b"\n")
+            else:
+                fh.truncate(data.rfind(b"\n") + 1)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def append(self, record: dict):
+        self._fh.write(_dump(record) + "\n")
+        self._fh.flush()
+        self._unsynced += 1
+        if self._unsynced >= _FSYNC_EVERY:
+            self._sync()
+
+    def _sync(self):
+        os.fsync(self._fh.fileno())
+        self._unsynced = 0
+
+    def close(self):
+        if not self._fh.closed:
+            self._sync()
+            self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+def load_jsonl(path) -> List[dict]:
+    """Parse a JSONL file, tolerating a truncated final line.
+
+    A writer killed mid-append leaves a partial last line; that is the
+    *expected* crash artifact and is silently dropped (the resume path
+    just re-evaluates the point).  Malformed JSON anywhere *before* the
+    final line means the file was edited or the filesystem lied — that
+    raises :class:`StoreCorruptError` rather than guessing.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = path.read_bytes().split(b"\n")
+    records = []
+    for pos, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if b"".join(lines[pos + 1:]).strip():
+                raise StoreCorruptError(
+                    f"{path}: malformed record at line {pos + 1} "
+                    "(not the final line, so not a truncated append)"
+                ) from None
+            break  # truncated tail from a killed writer
+    return records
+
+
+# ----------------------------------------------------------------------
+# The store directory
+# ----------------------------------------------------------------------
+class ResultStore:
+    """One sharded study's directory: manifest plus per-shard JSONL files."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    # -- manifest ------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def read_manifest(self, missing_ok=False):
+        if not self.manifest_path.exists():
+            if missing_ok:
+                return None
+            raise StoreError(
+                f"{self.root} is not a result store (no {MANIFEST_NAME}); "
+                "run a shard into it first"
+            )
+        manifest = json.loads(self.manifest_path.read_text())
+        if manifest.get("schema") != SCHEMA:
+            raise StoreMismatchError(
+                f"{self.manifest_path}: schema "
+                f"{manifest.get('schema')!r} != {SCHEMA!r}"
+            )
+        return manifest
+
+    def ensure_manifest(self, manifest: dict) -> dict:
+        """Create the store for ``manifest``, or verify it already matches.
+
+        The first shard to run creates the directory and writes the
+        manifest atomically (temp file + ``os.replace``); later shards —
+        possibly on other hosts — compare field by field and refuse to
+        write into a store whose grid/evaluator/config/workload differ.
+        Concurrent creation is benign: identical settings produce
+        byte-identical manifests, so whichever replace lands last wins.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        # JSON round-trip first so tuples/lists and int/float unify the
+        # same way they will when read back.
+        expected = json.loads(_dump(manifest))
+        existing = self.read_manifest(missing_ok=True)
+        if existing is not None:
+            mismatched = sorted(
+                key for key in set(expected) | set(existing)
+                if expected.get(key) != existing.get(key)
+            )
+            if mismatched:
+                raise StoreMismatchError(
+                    f"{self.root} was created for a different study "
+                    f"(mismatched manifest fields: {', '.join(mismatched)}); "
+                    "use a fresh --out directory per study"
+                )
+            return existing
+        tmp = self.manifest_path.with_name(
+            f"{MANIFEST_NAME}.tmp.{os.getpid()}"
+        )
+        tmp.write_text(json.dumps(expected, sort_keys=True, indent=2,
+                                  allow_nan=False) + "\n")
+        os.replace(tmp, self.manifest_path)
+        return expected
+
+    # -- shard files ---------------------------------------------------
+    def shard_path(self, shard) -> Path:
+        return self.root / (
+            f"shard-{shard.index:04d}-of-{shard.count:04d}.jsonl"
+        )
+
+    def shard_files(self) -> List[tuple]:
+        """Present shard files as sorted ``(index, count, path)`` triples."""
+        files = []
+        if self.root.is_dir():
+            for entry in self.root.iterdir():
+                match = _SHARD_RE.match(entry.name)
+                if match:
+                    files.append(
+                        (int(match.group(1)), int(match.group(2)), entry)
+                    )
+        return sorted(files)
+
+    @property
+    def fine_path(self) -> Path:
+        return self.root / FINE_NAME
+
+    def load_records(self, path) -> Dict[int, dict]:
+        """Index every completion record of one JSONL file.
+
+        First record wins per index: a record is immutable once written
+        (the evaluation is deterministic), so later duplicates — e.g. a
+        shard re-run racing its predecessor's unflushed tail — carry the
+        same data and are dropped.
+        """
+        records: Dict[int, dict] = {}
+        for record in load_jsonl(path):
+            if not isinstance(record, dict) or "i" not in record:
+                raise StoreCorruptError(
+                    f"{path}: record without a grid index: {record!r}"
+                )
+            records.setdefault(int(record["i"]), record)
+        return records

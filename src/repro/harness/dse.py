@@ -30,6 +30,18 @@ chunks with a bounded number of chunks in flight, yielding chunks
 ``as_completed``; the workload is shipped once per worker through the pool
 initializer (:func:`repro.perf.seed_worker_workload`), so per-workload
 memoized geometry is derived once per worker, not once per chunk.
+:func:`sweep_design_space` additionally *pilots* the first grid points
+before committing to a pool: sweeps whose total estimated cost is below
+the cost of spawning workers run serially (cheap analytical grids used to
+pay a ~0.7× "speedup" for their pool), and sweeps that do fan out size
+their chunks to a wall-clock target instead of a fixed point count.
+
+The deterministic grid indexing is also a *partition key*: every grid
+point has one index in the lexicographic cross-product order, exposed via
+:func:`grid_size` / :func:`grid_point` /
+:func:`iter_indexed_design_points`, which is what :mod:`repro.dist` shards
+across hosts (each shard evaluates a disjoint index subset and a merge
+reproduces the single-process sweep bit for bit).
 """
 
 from __future__ import annotations
@@ -40,6 +52,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
     ThreadPoolExecutor, wait
 from dataclasses import dataclass, replace
 from itertools import islice, product
+from math import ceil
+from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Sequence
 
 import numpy as np
@@ -50,8 +64,10 @@ from ..perf.cache import seed_worker_workload, seeded_workload
 from ..sim.evaluator import Evaluator, HybridEvaluator, \
     UnsupportedParameterError, resolve_evaluator
 
-__all__ = ["DesignPoint", "ParetoFront", "iter_design_space",
-           "sweep_design_space", "pareto_frontier", "sensitivity"]
+__all__ = ["DesignPoint", "PointFailure", "ParetoFront",
+           "grid_size", "grid_point", "iter_indexed_design_points",
+           "iter_design_space", "sweep_design_space", "pareto_frontier",
+           "sensitivity"]
 
 
 @dataclass(frozen=True)
@@ -96,11 +112,22 @@ def _apply(config: HardwareConfig, accel_kwargs: dict, name, value):
 
 
 @dataclass(frozen=True)
-class _PointFailure:
-    """A design point whose evaluator raised (dropped with a warning)."""
+class PointFailure:
+    """A design point whose evaluator raised.
+
+    The in-memory sweeps drop failures with a :class:`RuntimeWarning`; the
+    sharded runners (:mod:`repro.dist`) instead persist them as per-point
+    completion records, so a resumed shard does not re-run a point that
+    deterministically fails and a merge can reproduce the single-process
+    drop behaviour.
+    """
 
     parameters: tuple
     error: str
+
+
+#: Backwards-compatible private alias (the class predates :mod:`repro.dist`).
+_PointFailure = PointFailure
 
 
 def _evaluate_design_point(workload, base_config, names, values,
@@ -226,6 +253,57 @@ def _resolve_grid(grid):
     return names, product(*(grid[n] for n in names))
 
 
+def _normalise_grid(grid) -> Dict[str, tuple]:
+    """Materialise grid values as tuples (one-shot iterables read once)."""
+    if not grid:
+        raise ValueError("empty DSE grid")
+    normalised = {name: tuple(values) for name, values in grid.items()}
+    for name, values in normalised.items():
+        if not values:
+            raise ValueError(f"DSE parameter {name!r} has no values")
+    return normalised
+
+
+def grid_size(grid) -> int:
+    """Number of points in the grid cross-product."""
+    size = 1
+    for values in _normalise_grid(grid).values():
+        size *= len(values)
+    return size
+
+
+def grid_point(grid, index: int) -> tuple:
+    """Decode one grid index into its value tuple (sorted-name order).
+
+    The index is the point's position in the deterministic sweep order —
+    ``enumerate(product(*(grid[n] for n in sorted(grid))))`` — decoded in
+    O(#parameters) by mixed-radix arithmetic, so shards of a huge grid can
+    materialise exactly their own points without walking the cross-product.
+    """
+    grid = _normalise_grid(grid)
+    return _decode_grid_index(grid, sorted(grid), index)
+
+
+def _decode_grid_index(grid, names, index):
+    """:func:`grid_point` over an already-normalised grid."""
+    if index < 0:
+        raise IndexError(f"grid index must be non-negative, got {index}")
+    values = []
+    # itertools.product varies the LAST name fastest: peel digits off the
+    # little end of the mixed-radix representation.
+    remaining = index
+    for name in reversed(names):
+        choices = grid[name]
+        remaining, digit = divmod(remaining, len(choices))
+        values.append(choices[digit])
+    if remaining:
+        raise IndexError(
+            f"grid index {index} out of range "
+            f"(grid has {grid_size(grid)} points)"
+        )
+    return tuple(reversed(values))
+
+
 def _chunked(iterable, size):
     """Yield lists of up to ``size`` items."""
     iterator = iter(iterable)
@@ -240,11 +318,93 @@ def _chunked(iterable, size):
 #: per-task workload pickle, small enough to keep the stream responsive.
 _STREAM_CHUNK = 16
 
+#: Eager sweeps below this much estimated total work run serially even
+#: when ``n_jobs > 1``: spawning a process pool costs a few hundred
+#: milliseconds, which used to buy cheap-point sweeps a ~0.7× "speedup"
+#: (BENCH ``cycle_sim_dse`` at 48 vectorized points).
+_AUTO_SERIAL_SECONDS = 0.25
+
+#: Adaptive chunks aim for this much work per task: big enough to amortise
+#: dispatch, small enough to keep workers balanced near the sweep's tail.
+_TARGET_CHUNK_SECONDS = 0.05
+
+#: Grid points timed serially before committing a sweep to a pool.
+_PILOT_POINTS = 2
+
+
+def _plan_parallel(per_point_s, remaining, n_jobs, min_parallel_s):
+    """Pick ``(n_jobs, chunksize)`` from a measured per-point cost.
+
+    Serial (``n_jobs=1``) when the whole remaining sweep is estimated
+    cheaper than ``min_parallel_s`` (the pool would cost more than it
+    saves); otherwise chunks target :data:`_TARGET_CHUNK_SECONDS` of work
+    each — expensive points get small chunks (better balance), cheap
+    points get large ones (less dispatch) — capped at the historical
+    one-chunk-per-worker split and floored at one point.
+    """
+    if remaining <= 0 or per_point_s * remaining < min_parallel_s:
+        return 1, max(remaining, 1)
+    per_worker = -(-remaining // n_jobs)
+    target = max(1, ceil(_TARGET_CHUNK_SECONDS / max(per_point_s, 1e-9)))
+    return n_jobs, min(per_worker, target)
+
 
 def _resolve_n_jobs(n_jobs):
     if n_jobs is None:
         n_jobs = os.cpu_count() or 1
     return max(1, int(n_jobs))
+
+
+def _piloted_stream(workload, base_config, names, indexed, total, n_jobs,
+                    threshold, evaluator) -> Iterator[tuple]:
+    """Adaptive :func:`_stream_evaluations` over a known-length stream.
+
+    Times the first :data:`_PILOT_POINTS` points in-process, then either
+    finishes serially (estimated remaining work below ``threshold`` — the
+    pool would cost more than it saves) or fans out with
+    :func:`_plan_parallel`-sized chunks.  Without a pilot (serial request,
+    tiny grid, ``threshold <= 0``) this is the historical
+    one-chunk-per-worker stream.  Yields ``(grid_index, point)`` pairs
+    with failures warn-dropped; parallel yields arrive out of order.
+    """
+    indexed = iter(indexed)
+    chunksize = -(-total // n_jobs) if total else 1
+    if n_jobs > 1 and threshold > 0 and total > _PILOT_POINTS:
+        begin = perf_counter()
+        pilot = [
+            (index, _evaluate_design_point(workload, base_config, names,
+                                           values, evaluator))
+            for index, values in islice(indexed, _PILOT_POINTS)
+        ]
+        per_point = (perf_counter() - begin) / _PILOT_POINTS
+        yield from _filter_failures(pilot)
+        n_jobs, chunksize = _plan_parallel(
+            per_point, total - _PILOT_POINTS, n_jobs, threshold
+        )
+    yield from _stream_evaluations(workload, base_config, names, indexed,
+                                   n_jobs, chunksize, evaluator)
+
+
+def _hybrid_survivors(pairs, objectives=("seconds", "energy_joules")):
+    """Coarse-frontier survivors of ``(grid_index, point)`` pairs.
+
+    THE survivor-selection rule of a hybrid sweep, shared by the
+    in-memory two-phase sweep (:func:`_iter_hybrid`) and the sharded
+    merge (:func:`repro.dist.merge_store`) so the two can never drift:
+    offer every coarse point to a :class:`ParetoFront` and return the
+    surviving ``(grid_index, point)`` pairs in ascending grid order.  The
+    non-dominated set of a multiset is arrival-order independent, so any
+    execution order (serial, pooled, sharded) selects the same indices.
+    """
+    front = ParetoFront(objectives=objectives)
+    index_of = {}  # id(point) -> grid index (points are unique objects)
+    for index, point in pairs:
+        if front.offer(point):
+            index_of[id(point)] = index
+    return sorted(
+        ((index_of[id(point)], point) for point in front.points),
+        key=lambda pair: pair[0],
+    )
 
 
 def _filter_failures(pairs):
@@ -262,7 +422,8 @@ def _filter_failures(pairs):
 
 
 def _stream_evaluations(workload, base_config, names, indexed, n_jobs,
-                        chunksize, evaluator) -> Iterator[tuple]:
+                        chunksize, evaluator,
+                        keep_failures=False) -> Iterator[tuple]:
     """Evaluate ``(grid_index, values)`` pairs, yielding completed points.
 
     The engine under both the lazy and the eager sweep: serial runs
@@ -273,8 +434,11 @@ def _stream_evaluations(workload, base_config, names, indexed, n_jobs,
     chunk tasks stay tiny and workers reuse one memoized workload object.
     Only pool *creation* may fall back to threads (sandboxes without
     process/semaphore support); failures outside the evaluator — including
-    BrokenProcessPool — propagate.
+    BrokenProcessPool — propagate.  ``keep_failures=True`` yields
+    :class:`PointFailure` results instead of warn-dropping them (the
+    sharded runners persist them as completion records).
     """
+    sieve = (lambda pairs: pairs) if keep_failures else _filter_failures
     if n_jobs == 1:
         pairs = (
             (index,
@@ -282,7 +446,7 @@ def _stream_evaluations(workload, base_config, names, indexed, n_jobs,
                                     evaluator))
             for index, values in indexed
         )
-        yield from _filter_failures(pairs)
+        yield from sieve(pairs)
         return
     chunks = _chunked(indexed, chunksize or _STREAM_CHUNK)
     try:
@@ -309,7 +473,7 @@ def _stream_evaluations(workload, base_config, names, indexed, n_jobs,
                         pool.submit(_evaluate_chunk, task_workload,
                                     base_config, names, chunk, evaluator)
                     )
-                yield from _filter_failures(future.result())
+                yield from sieve(future.result())
         pool.shutdown(wait=True)
     finally:
         # An abandoned stream (consumer stopped early) must not block on
@@ -335,10 +499,60 @@ def _iter_indexed_points(workload, grid, base_config, n_jobs,
     )
 
 
+def iter_indexed_design_points(workload: ModelWorkload,
+                               grid: Dict[str, Sequence],
+                               indices: Iterable[int] = None,
+                               base_config: HardwareConfig = None,
+                               n_jobs: int = 1, chunksize: int = None,
+                               evaluator=None,
+                               keep_failures=False) -> Iterator[tuple]:
+    """Shard-aware streaming: evaluate a subset of grid indices.
+
+    Yields ``(grid_index, DesignPoint)`` pairs for exactly the given
+    ``indices`` (any iterable of positions in the deterministic sweep
+    order; ``None`` means the whole grid).  This is the execution surface
+    :mod:`repro.dist` shards across processes and hosts: each shard holds
+    a disjoint index subset, and because the index *is* the partition key,
+    re-running a shard can skip indices its result store already holds.
+
+    Serial runs yield in the order given; ``n_jobs > 1`` fans index chunks
+    across workers and yields them as completed (out of order).  With
+    ``keep_failures=True`` a point whose evaluator raised arrives as a
+    ``(grid_index, PointFailure)`` pair instead of being warn-dropped, so
+    callers with durable stores can record the failure as a completion.
+
+    Hybrid evaluators are rejected: their coarse phase is shardable (pass
+    ``evaluator.coarse``) but the prune needs the whole grid — see
+    :func:`repro.dist.merge_store`, which re-scores the merged frontier.
+    """
+    grid = _normalise_grid(grid)
+    names = sorted(grid)
+    evaluator = resolve_evaluator(evaluator)
+    if isinstance(evaluator, HybridEvaluator):
+        raise ValueError(
+            "hybrid evaluators cannot stream indexed points: the prune "
+            "needs the whole grid; shard evaluator.coarse and re-score "
+            "the merged frontier instead (see repro.dist.merge_store)"
+        )
+    base_config = base_config or VITCOD_DEFAULT
+    if indices is None:
+        indexed = enumerate(product(*(grid[n] for n in names)))
+    else:
+        indexed = (
+            (int(i), _decode_grid_index(grid, names, int(i)))
+            for i in indices
+        )
+    yield from _stream_evaluations(
+        workload, base_config, names, indexed, _resolve_n_jobs(n_jobs),
+        chunksize, evaluator, keep_failures=keep_failures,
+    )
+
+
 def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
                       base_config: HardwareConfig = None, n_jobs: int = 1,
                       frontier: ParetoFront = None, evaluator=None,
-                      chunksize: int = None) -> Iterator[DesignPoint]:
+                      chunksize: int = None,
+                      min_parallel_s: float = None) -> Iterator[DesignPoint]:
     """Stream the grid cross-product: yield each :class:`DesignPoint` as it
     completes, never materialising the full grid.
 
@@ -360,7 +574,13 @@ def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
     for very expensive points), and ``"hybrid"`` — or any
     :class:`~repro.sim.evaluator.HybridEvaluator` — prunes the grid with
     its coarse evaluator and yields only the surviving frontier re-scored
-    by its fine evaluator, in deterministic grid order.
+    by its fine evaluator, in deterministic grid order.  A hybrid coarse
+    phase with ``n_jobs > 1`` (and no explicit ``chunksize``) is adaptive
+    like the eager sweep: it pilots the first points and stays serial
+    when the whole phase is cheaper than ``min_parallel_s`` (default
+    ~0.25 s; ``0`` forces the pool).  Plain streaming sweeps ignore
+    ``min_parallel_s`` — a lazy stream's length is unknown, so there is
+    nothing to estimate against.
 
     Example
     -------
@@ -372,7 +592,8 @@ def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
     evaluator = resolve_evaluator(evaluator)
     if isinstance(evaluator, HybridEvaluator):
         yield from _iter_hybrid(workload, grid, base_config, n_jobs,
-                                frontier, evaluator, chunksize)
+                                frontier, evaluator, chunksize,
+                                min_parallel_s=min_parallel_s)
         return
     stream = _iter_indexed_points(workload, grid, base_config, n_jobs,
                                   chunksize, evaluator)
@@ -383,37 +604,44 @@ def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
 
 
 def _iter_hybrid(workload, grid, base_config, n_jobs, frontier,
-                 evaluator: HybridEvaluator, chunksize) -> Iterator[DesignPoint]:
+                 evaluator: HybridEvaluator, chunksize,
+                 min_parallel_s=None) -> Iterator[DesignPoint]:
     """Two-phase sweep: coarse-prune the grid, fine-score the survivors.
 
     Phase 1 streams every grid point through ``evaluator.coarse`` into an
-    incremental :class:`ParetoFront`; phase 2 re-scores only the surviving
-    frontier with ``evaluator.fine``.  Survivors are processed and yielded
-    in ascending grid order, so hybrid sweeps are deterministic regardless
-    of ``n_jobs`` or completion order (the non-dominated set of a multiset
-    of points does not depend on arrival order).
+    incremental :class:`ParetoFront` — adaptively (see
+    :func:`_piloted_stream`): a cheap coarse phase with ``n_jobs > 1``
+    stays serial instead of paying for a pool it cannot amortise.  Phase 2
+    re-scores only the surviving frontier with ``evaluator.fine``.
+    Survivors are processed and yielded in ascending grid order, so hybrid
+    sweeps are deterministic regardless of ``n_jobs`` or completion order
+    (the non-dominated set of a multiset of points does not depend on
+    arrival order).
     """
-    if not grid:
-        raise ValueError("empty DSE grid")
-    grid = {name: tuple(values) for name, values in grid.items()}
+    grid = _normalise_grid(grid)
     names = sorted(grid)
     base_config = base_config or VITCOD_DEFAULT
     n_jobs = _resolve_n_jobs(n_jobs)
+    threshold = (_AUTO_SERIAL_SECONDS if min_parallel_s is None
+                 else float(min_parallel_s))
 
     coarse_objectives = frontier.objectives if frontier is not None else \
         ("seconds", "energy_joules")
-    coarse_front = ParetoFront(objectives=coarse_objectives)
-    grid_index = {}  # id(point) -> grid index (points are unique objects)
-    for index, point in _iter_indexed_points(workload, grid, base_config,
-                                             n_jobs, chunksize,
-                                             evaluator.coarse):
-        if coarse_front.offer(point):
-            grid_index[id(point)] = index
-
-    survivors = sorted(
-        ((grid_index[id(point)], point) for point in coarse_front.points),
-        key=lambda pair: pair[0],
-    )
+    combos = enumerate(product(*(grid[n] for n in names)))
+    if chunksize is not None:
+        # An explicit chunk size is a caller override (expensive coarse
+        # points): keep the historical fixed-chunk stream.
+        coarse_stream = _stream_evaluations(
+            workload, base_config, names, combos, n_jobs, chunksize,
+            evaluator.coarse,
+        )
+    else:
+        coarse_stream = _piloted_stream(
+            workload, base_config, names, combos, grid_size(grid),
+            n_jobs, threshold, evaluator.coarse,
+        )
+    survivors = _hybrid_survivors(coarse_stream,
+                                  objectives=coarse_objectives)
     indexed = (
         (index, tuple(dict(point.parameters)[name] for name in names))
         for index, point in survivors
@@ -432,7 +660,8 @@ def _iter_hybrid(workload, grid, base_config, n_jobs, frontier,
 
 def sweep_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
                        base_config: HardwareConfig = None,
-                       n_jobs: int = 1, evaluator=None) -> List[DesignPoint]:
+                       n_jobs: int = 1, evaluator=None,
+                       min_parallel_s: float = None) -> List[DesignPoint]:
     """Evaluate the cross product of ``grid`` on ``workload``, eagerly.
 
     A drained, re-ordered :func:`iter_design_space`: ``n_jobs`` fans grid
@@ -445,32 +674,42 @@ def sweep_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
     are dropped (with a :class:`RuntimeWarning`), so the result can be
     shorter than the grid.
 
+    ``n_jobs > 1`` sweeps are *adaptive*: the first
+    :data:`_PILOT_POINTS` points are timed in-process, and the sweep only
+    spawns a pool when the estimated remaining work exceeds
+    ``min_parallel_s`` (default :data:`_AUTO_SERIAL_SECONDS`; pool spawn
+    costs real wall-clock, so cheap grids are faster serial).  When it
+    does fan out, chunks are sized to ~:data:`_TARGET_CHUNK_SECONDS` of
+    estimated work instead of a fixed one-chunk-per-worker split.  Pass
+    ``min_parallel_s=0`` to force the pool and the historical chunking
+    (benchmarks measuring raw fan-out do this).  Either way the returned
+    points are identical to the serial sweep's.
+
     Example
     -------
     >>> grid = {"mac_lines": [32, 64, 128], "ae_compression": [None, 0.5]}
     >>> points = sweep_design_space(workload, grid, n_jobs=4)
     """
-    if not grid:
-        raise ValueError("empty DSE grid")
     # Normalise once: the grid is resolved both here (for sizing/ordering)
     # and inside the streaming engine, so one-shot iterables must not be
     # consumed twice.
-    grid = {name: tuple(values) for name, values in grid.items()}
+    grid = _normalise_grid(grid)
     evaluator = resolve_evaluator(evaluator)
     if isinstance(evaluator, HybridEvaluator):
         # The hybrid stream already arrives in deterministic grid order.
         return list(iter_design_space(workload, grid, base_config,
-                                      n_jobs=n_jobs, evaluator=evaluator))
+                                      n_jobs=n_jobs, evaluator=evaluator,
+                                      min_parallel_s=min_parallel_s))
     names, combos = _resolve_grid(grid)
     combos = list(combos)
+    base_config = base_config or VITCOD_DEFAULT
     n_jobs = min(_resolve_n_jobs(n_jobs), len(combos))
-    # One chunk per worker (the historical sweep batching): every worker
-    # gets one task over the seeded workload.
-    chunksize = -(-len(combos) // n_jobs) if combos else 1
-    indexed = _iter_indexed_points(workload, grid, base_config, n_jobs,
-                                   chunksize=chunksize, evaluator=evaluator)
+    threshold = (_AUTO_SERIAL_SECONDS if min_parallel_s is None
+                 else float(min_parallel_s))
     points: List[DesignPoint] = [None] * len(combos)
-    for index, point in indexed:
+    for index, point in _piloted_stream(workload, base_config, names,
+                                        enumerate(combos), len(combos),
+                                        n_jobs, threshold, evaluator):
         points[index] = point
     return [point for point in points if point is not None]
 

@@ -50,6 +50,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..perf.memo import instance_memo
 from ..sim.engine import AttentionSimulatorBase, merge_results
 from .allocator import allocate_mac_lines
 from .dram import DramModel, DramRequest
@@ -398,6 +399,64 @@ class CycleAccurateSimulator(AttentionSimulatorBase):
         q_stream = int(tensor_bytes * ratio * k_tiles)
         return k_col_bytes, tensor_bytes, q_stream
 
+    # ------------------------------------------------------------------
+    # Per-(workload, config) geometry, memoized on the (frozen) workload.
+    #
+    # DSE sweeps hold the workload fixed while configs change, so each
+    # piece of derived geometry is keyed by exactly the configuration
+    # fields it reads: MAC-line allocations survive a bandwidth sweep,
+    # DRAM service times survive a mac_lines sweep, and repeat scoring of
+    # any point is free.  The tables live on the workload instance (the
+    # slot is stripped from pickles alongside the job-product caches) so
+    # every simulator sharing a cached workload shares them.
+    # ------------------------------------------------------------------
+    _GEOMETRY_SLOT = "_cycle_geometry"
+
+    def _dram_memo_key(self):
+        """Hashable DRAM signature, or ``None`` when memoizing is unsafe
+        (a custom :class:`DramModel` subclass may read state the key
+        cannot see)."""
+        dram = self.dram
+        if type(dram) is not DramModel:
+            return None
+        return (dram.bytes_per_cycle, dram.burst_bytes,
+                dram.row_miss_penalty_cycles, dram.scattered_row_hit_rate)
+
+    def _layer_services(self, layer: AttentionWorkload):
+        """Quantized DRAM service times ``(q_stream, k_column, v_stream)``."""
+        dram_key = self._dram_memo_key()
+        if dram_key is None:
+            return self._build_layer_services(layer)
+        cfg = self.config
+        ratio = self.ae_compression if self.use_ae else 1.0
+        key = ("services", cfg.bytes_per_element, cfg.act_buffer_bytes,
+               ratio, dram_key)
+        return instance_memo(layer, self._GEOMETRY_SLOT, key,
+                             lambda: self._build_layer_services(layer))
+
+    def _build_layer_services(self, layer):
+        k_col_bytes, tensor_bytes, q_stream = self._layer_geometry(layer)
+        return (self._service(q_stream, tag="q-stream"),
+                self._service(k_col_bytes),
+                self._service(2 * tensor_bytes, tag="v-stream"))
+
+    def _layer_alloc(self, layer: AttentionWorkload):
+        """Engine MAC-line split ``(denser_lines, sparser_lines)``, both
+        floored at 1 as the schedulers require."""
+        key = ("alloc", self.config.num_mac_lines)
+        return instance_memo(layer, self._GEOMETRY_SLOT, key,
+                             lambda: self._build_layer_alloc(layer))
+
+    def _build_layer_alloc(self, layer):
+        head_dim = layer.head_dim
+        denser_products, sparser_products = self._column_products(layer)
+        alloc = allocate_mac_lines(
+            self.config.num_mac_lines,
+            int(denser_products.sum()) * head_dim,
+            int(sparser_products.sum()) * head_dim,
+        )
+        return max(alloc.denser_lines, 1), max(alloc.sparser_lines, 1)
+
     def simulate_layer(self, layer: AttentionWorkload) -> CycleSimResult:
         if self.engine == "scalar":
             return self._simulate_layer_scalar(layer)
@@ -466,15 +525,10 @@ class CycleAccurateSimulator(AttentionSimulatorBase):
         """
         cfg = self.config
         head_dim = layer.head_dim
-        k_col_bytes, tensor_bytes, q_stream = self._layer_geometry(layer)
 
         denser_products, sparser_products = self._column_products(layer)
         n_d, n_s = denser_products.size, sparser_products.size
-        denser_macs = int(denser_products.sum()) * head_dim
-        sparser_macs = int(sparser_products.sum()) * head_dim
-        alloc = allocate_mac_lines(cfg.num_mac_lines, denser_macs, sparser_macs)
-        d_lines = max(alloc.denser_lines, 1)
-        s_lines = max(alloc.sparser_lines, 1)
+        d_lines, s_lines = self._layer_alloc(layer)
 
         # Integer durations (exact doubles): ceil-divisions in int64.
         per_wave = ceil(head_dim / cfg.macs_per_line)
@@ -485,8 +539,7 @@ class CycleAccurateSimulator(AttentionSimulatorBase):
         sm_s = (-(-sparser_products // lanes)).astype(np.float64)
 
         # DRAM channel: q-stream, then one identical K-column load per job.
-        q_service = self._service(q_stream, tag="q-stream")
-        s_col = self._service(k_col_bytes)
+        q_service, s_col, v_service = self._layer_services(layer)
         load_done_d = q_service + s_col * np.arange(1, n_d + 1)
         load_done_s = (q_service + s_col * n_d
                        + s_col * np.arange(1, n_s + 1))
@@ -509,7 +562,6 @@ class CycleAccurateSimulator(AttentionSimulatorBase):
             ceil(spmm_products / cfg.num_mac_lines)
             * ceil(head_dim / cfg.macs_per_line)
         )
-        v_service = self._service(2 * tensor_bytes, tag="v-stream")
         dram_free = q_service + s_col * (n_d + n_s)
         v_done = max(sddmm_done, dram_free) + v_service
         spmm_done = max(sddmm_done + spmm_compute, v_done)
@@ -630,7 +682,8 @@ class CycleAccurateSimulator(AttentionSimulatorBase):
         lanes = cfg.softmax_lanes
 
         # Per-layer scalar geometry (identical expressions to the
-        # single-layer path; cheap Python over L layers).
+        # single-layer path; cheap Python over L layers, with the service
+        # times and line allocations memoized per (workload, config)).
         q_service = np.empty(L)
         s_col = np.empty(L)
         v_service = np.empty(L)
@@ -641,20 +694,11 @@ class CycleAccurateSimulator(AttentionSimulatorBase):
         products_d, products_s = [], []
         for i, layer in enumerate(layers):
             head_dim = layer.head_dim
-            k_col_bytes, tensor_bytes, q_stream = self._layer_geometry(layer)
-            q_service[i] = self._service(q_stream, tag="q-stream")
-            s_col[i] = self._service(k_col_bytes)
-            v_service[i] = self._service(2 * tensor_bytes, tag="v-stream")
+            q_service[i], s_col[i], v_service[i] = self._layer_services(layer)
             d_prod, s_prod = self._column_products(layer)
             products_d.append(d_prod)
             products_s.append(s_prod)
-            alloc = allocate_mac_lines(
-                cfg.num_mac_lines,
-                int(d_prod.sum()) * head_dim,
-                int(s_prod.sum()) * head_dim,
-            )
-            d_lines[i] = max(alloc.denser_lines, 1)
-            s_lines[i] = max(alloc.sparser_lines, 1)
+            d_lines[i], s_lines[i] = self._layer_alloc(layer)
             per_wave[i] = ceil(head_dim / cfg.macs_per_line)
             spmm_compute[i] = (
                 ceil(layer.total_nnz / cfg.num_mac_lines)

@@ -137,11 +137,14 @@ class AttentionWorkload:
     heads: Sequence[HeadWorkload]
     streaming_fallback: bool = True
 
-    #: instance-cache attributes (see :func:`_memoized`) stripped from
-    #: pickles: they are pure derived data, and parallel DSE chunks ship
-    #: the workload often enough that doubling the payload matters.
+    #: instance-cache attributes (see :func:`_memoized` and
+    #: :func:`repro.perf.memo.instance_memo`) stripped from pickles: they
+    #: are pure derived data, and parallel DSE chunks ship the workload
+    #: often enough that doubling the payload matters.
+    #: ``_cycle_geometry`` is the cycle simulator's per-(workload, config)
+    #: table (service times, MAC-line allocations).
     _CACHE_ATTRS = ("_head_stats", "_denser_job_products",
-                    "_sparser_job_products")
+                    "_sparser_job_products", "_cycle_geometry")
 
     def __getstate__(self):
         state = dict(self.__dict__)

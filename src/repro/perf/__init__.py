@@ -12,6 +12,7 @@ from .cache import (
     CacheStats,
     KeyedCache,
     cached_model_workload,
+    instance_memo,
     cached_synthetic_attention_workload,
     clear_workload_cache,
     seed_worker_workload,
@@ -24,6 +25,7 @@ from .timing import BenchResult, Timer, benchit
 __all__ = [
     "CacheStats",
     "KeyedCache",
+    "instance_memo",
     "cached_model_workload",
     "cached_synthetic_attention_workload",
     "clear_workload_cache",

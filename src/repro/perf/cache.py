@@ -18,10 +18,12 @@ from dataclasses import dataclass
 
 from ..hw.workload import model_workload, synthetic_attention_workload
 from ..models.config import ModelConfig, get_config
+from .memo import instance_memo
 
 __all__ = [
     "CacheStats",
     "KeyedCache",
+    "instance_memo",
     "workload_cache",
     "cached_synthetic_attention_workload",
     "cached_model_workload",

@@ -50,6 +50,8 @@ from .evaluator import (
     Evaluator,
     HybridEvaluator,
     UnsupportedParameterError,
+    evaluator_from_spec,
+    evaluator_spec,
     resolve_evaluator,
 )
 
@@ -66,4 +68,6 @@ __all__ = [
     "CycleSimEvaluator",
     "HybridEvaluator",
     "resolve_evaluator",
+    "evaluator_spec",
+    "evaluator_from_spec",
 ]

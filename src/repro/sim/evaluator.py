@@ -27,6 +27,12 @@ Three built-ins cover the repo's simulators:
 
 Evaluator instances cross process boundaries in parallel sweeps, so they
 must be picklable (the built-ins are plain objects with scalar state).
+They also cross *host* boundaries in sharded sweeps (:mod:`repro.dist`),
+as JSON: :func:`evaluator_spec` renders a built-in evaluator to a plain
+dict a result-store manifest can persist, and :func:`evaluator_from_spec`
+reconstructs an equivalent instance on any machine — the round-trip is
+exact for the built-ins, so every shard of a study scores points with the
+same strategy the merge step assumes.
 """
 
 from __future__ import annotations
@@ -42,6 +48,8 @@ __all__ = [
     "CycleSimEvaluator",
     "HybridEvaluator",
     "resolve_evaluator",
+    "evaluator_spec",
+    "evaluator_from_spec",
 ]
 
 
@@ -60,6 +68,18 @@ class EvalMetrics:
 
     seconds: float
     energy_joules: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe record (floats round-trip bit-exactly through JSON)."""
+        return {"seconds": self.seconds, "energy_joules": self.energy_joules}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvalMetrics":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seconds=float(data["seconds"]),
+            energy_joules=float(data["energy_joules"]),
+        )
 
 
 @runtime_checkable
@@ -219,4 +239,62 @@ def resolve_evaluator(spec) -> Evaluator:
         return spec
     raise TypeError(
         f"evaluator must be None, a name, or a callable, got {type(spec)!r}"
+    )
+
+
+def evaluator_spec(evaluator) -> dict:
+    """Render an evaluator as a JSON-safe spec dict.
+
+    Built-ins serialize exactly (name plus constructor parameters;
+    :class:`HybridEvaluator` nests its coarse/fine specs), so
+    ``evaluator_from_spec(evaluator_spec(e))`` scores any point
+    identically to ``e``.  Anything else — a user callable — is recorded
+    as ``{"name": "custom:<name>"}``: enough for a result-store manifest
+    to *identify* the strategy, not enough to reconstruct it (the caller
+    must pass the instance again).  Accepts anything
+    :func:`resolve_evaluator` does.
+    """
+    evaluator = resolve_evaluator(evaluator)
+    kind = type(evaluator)
+    if kind is AnalyticalEvaluator:
+        return {"name": "analytical"}
+    if kind is CycleSimEvaluator:
+        return {"name": "cycle", "engine": evaluator.engine, "scan": evaluator.scan}
+    if kind is HybridEvaluator:
+        return {
+            "name": "hybrid",
+            "coarse": evaluator_spec(evaluator.coarse),
+            "fine": evaluator_spec(evaluator.fine),
+        }
+    name = getattr(evaluator, "name", None) or kind.__qualname__
+    return {"name": f"custom:{name}"}
+
+
+def evaluator_from_spec(spec) -> Evaluator:
+    """Reconstruct an evaluator from an :func:`evaluator_spec` dict.
+
+    Accepts a bare name string as shorthand for ``{"name": ...}``.
+    ``custom:*`` specs (and unknown names) raise: a spec names a strategy
+    across hosts, it cannot ship code — reconstruct the instance and pass
+    it explicitly instead.
+    """
+    if isinstance(spec, str):
+        spec = {"name": spec}
+    name = spec.get("name")
+    if name == "analytical":
+        return AnalyticalEvaluator()
+    if name == "cycle":
+        return CycleSimEvaluator(
+            engine=spec.get("engine", "vectorized"), scan=spec.get("scan", "split")
+        )
+    if name == "hybrid":
+        coarse = spec.get("coarse")
+        fine = spec.get("fine")
+        return HybridEvaluator(
+            coarse=evaluator_from_spec(coarse) if coarse else None,
+            fine=evaluator_from_spec(fine) if fine else None,
+        )
+    raise ValueError(
+        f"cannot reconstruct evaluator from spec {spec!r}; custom "
+        "evaluators must be re-instantiated and passed explicitly"
     )

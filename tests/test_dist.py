@@ -1,0 +1,406 @@
+"""Tests for the sharded, resumable DSE pipeline (:mod:`repro.dist`)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dist import (
+    IncompleteStoreError,
+    ResultStore,
+    ShardSpec,
+    StoreCorruptError,
+    StoreMismatchError,
+    build_manifest,
+    config_from_dict,
+    config_to_dict,
+    decode_record,
+    encode_record,
+    merge_store,
+    model_workload_spec,
+    run_shard,
+    shard_indices,
+    store_status,
+    workload_from_spec,
+)
+from repro.dist.store import load_jsonl
+from repro.harness.dse import (
+    DesignPoint,
+    PointFailure,
+    pareto_frontier,
+    sweep_design_space,
+)
+from repro.hw.params import VITCOD_DEFAULT, HardwareConfig
+from repro.perf import cached_model_workload
+from repro.sim.evaluator import AnalyticalEvaluator
+
+GRID = {"mac_lines": (16, 32, 64), "ae_compression": (None, 0.5)}
+SPEC = model_workload_spec("deit-tiny", sparsity=0.9)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return cached_model_workload("deit-tiny", sparsity=0.9)
+
+
+class TestShardSpec:
+    def test_parse(self):
+        assert ShardSpec.parse("2/3") == ShardSpec(2, 3)
+        assert str(ShardSpec(2, 3)) == "2/3"
+        assert ShardSpec.parse(ShardSpec(1, 1)) == ShardSpec(1, 1)
+
+    @pytest.mark.parametrize("bad", ["", "3", "0/3", "4/3", "a/3", "1/0",
+                                     "-1/3", "1/-2"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ShardSpec.parse(bad)
+
+    @pytest.mark.parametrize("size", [0, 1, 2, 5, 6, 7, 48, 97])
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 7])
+    def test_partition_tiles_grid_exactly_once(self, size, count):
+        """The K/N shards cover range(size) completely and disjointly."""
+        chunks = [list(ShardSpec(k, count).indices(size))
+                  for k in range(1, count + 1)]
+        merged = sorted(i for chunk in chunks for i in chunk)
+        assert merged == list(range(size))
+
+    def test_shard_indices_convenience(self):
+        assert list(shard_indices(7, "2/3")) == [1, 4]
+
+
+class TestStoreFiles:
+    def _records(self, tmp_path, lines):
+        path = tmp_path / "f.jsonl"
+        path.write_bytes(b"".join(lines))
+        return path
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = self._records(tmp_path, [b'{"i":0,"x":1}\n', b'{"i":1,"x'])
+        assert load_jsonl(path) == [{"i": 0, "x": 1}]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = self._records(
+            tmp_path, [b'{"i":0}\n', b'{"i":1,"x\n', b'{"i":2}\n']
+        )
+        with pytest.raises(StoreCorruptError):
+            load_jsonl(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_jsonl(tmp_path / "absent.jsonl") == []
+
+    def test_record_round_trip_bit_exact(self):
+        point = DesignPoint(
+            parameters=(("ae_compression", None), ("mac_lines", 32)),
+            seconds=1.2345678901234567e-4,
+            energy_joules=9.87654321e-2,
+            area_proxy=256,
+        )
+        encoded = json.loads(json.dumps(encode_record(7, point)))
+        index, decoded = decode_record(encoded)
+        assert index == 7
+        assert decoded == point  # dataclass eq: every field bit-equal
+
+    def test_failure_record_round_trip(self):
+        failure = PointFailure(parameters=(("mac_lines", 16),),
+                               error="RuntimeError: boom")
+        index, decoded = decode_record(encode_record(3, failure))
+        assert index == 3 and decoded == failure
+
+    def test_config_round_trip(self):
+        config = HardwareConfig(num_mac_lines=32, frequency_hz=1e9)
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_manifest_mismatch_detected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        manifest = build_manifest(GRID, 2, AnalyticalEvaluator(),
+                                  VITCOD_DEFAULT, SPEC)
+        store.ensure_manifest(manifest)
+        other = build_manifest({"mac_lines": (16,)}, 2,
+                               AnalyticalEvaluator(), VITCOD_DEFAULT, SPEC)
+        with pytest.raises(StoreMismatchError):
+            store.ensure_manifest(other)
+        # The identical manifest is accepted (another host joining in).
+        assert store.ensure_manifest(manifest)["num_shards"] == 2
+
+
+class _RecordingEvaluator:
+    """Analytical scoring that counts calls and can poison one value.
+
+    Serial in-process use only (call lists do not cross pools).  One class
+    for counting and failing so every run against one store carries the
+    same custom-evaluator spec in its manifest.
+    """
+
+    name = "recording"
+
+    def __init__(self, poison=None):
+        self.inner = AnalyticalEvaluator()
+        self.poison = poison
+        self.calls = []
+
+    def __call__(self, workload, config, accel_kwargs):
+        self.calls.append(config.num_mac_lines)
+        if config.num_mac_lines == self.poison:
+            raise RuntimeError("poisoned point")
+        return self.inner(workload, config, accel_kwargs)
+
+
+class TestShardMergeBitExact:
+    @pytest.mark.parametrize("evaluator", ["analytical", "cycle", "hybrid"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    def test_merge_equals_single_process_sweep(self, tmp_path, workload,
+                                               evaluator, num_shards):
+        """K-sharded stores reproduce sweep_design_space bit for bit."""
+        serial = sweep_design_space(workload, GRID, evaluator=evaluator)
+        store = tmp_path / "store"
+        for k in range(1, num_shards + 1):
+            result = run_shard(workload, GRID, f"{k}/{num_shards}", store,
+                               evaluator=evaluator, workload_spec=SPEC)
+            assert result.complete
+        merged = merge_store(store)
+        assert list(merged.points) == serial
+        assert list(merged.frontier) == pareto_frontier(serial)
+        assert merged.dropped == 0
+
+    def test_hybrid_merge_is_resumable(self, tmp_path, workload):
+        """A second merge of a hybrid store re-scores nothing."""
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/1", store, evaluator="hybrid",
+                  workload_spec=SPEC)
+        first = merge_store(store)
+        fine_file = ResultStore(store).fine_path
+        stamp = fine_file.read_bytes()
+        again = merge_store(store)
+        assert again.points == first.points
+        assert fine_file.read_bytes() == stamp  # no new records appended
+
+    def test_merge_without_workload_spec_needs_workload(self, tmp_path,
+                                                        workload):
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/1", store, evaluator="hybrid")
+        with pytest.raises(ValueError, match="workload"):
+            merge_store(store)
+        merged = merge_store(store, workload=workload)
+        serial = sweep_design_space(workload, GRID, evaluator="hybrid")
+        assert list(merged.points) == serial
+
+
+class TestResume:
+    def test_rerun_skips_completed_indices(self, tmp_path, workload):
+        store = tmp_path / "store"
+        first = _RecordingEvaluator()
+        run_shard(workload, GRID, "1/2", store, evaluator=first,
+                  workload_spec=SPEC)
+        assert len(first.calls) == 3  # shard 1/2 owns indices 0, 2, 4
+        second = _RecordingEvaluator()
+        result = run_shard(workload, GRID, "1/2", store, evaluator=second,
+                           workload_spec=SPEC)
+        assert second.calls == []  # nothing re-evaluated
+        assert result.evaluated == 0 and result.skipped == 3
+
+    def test_resume_after_kill_truncated_line(self, tmp_path, workload):
+        """A writer killed mid-append loses only the point in flight."""
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/2", store,
+                  evaluator=_RecordingEvaluator(), workload_spec=SPEC)
+        path = ResultStore(store).shard_path(ShardSpec(1, 2))
+        whole = path.read_bytes()
+        lines = whole.strip().split(b"\n")
+        # Simulate the kill: drop the last record's tail mid-line.
+        path.write_bytes(b"\n".join(lines[:-1]) + b"\n" + lines[-1][:7])
+        counting = _RecordingEvaluator()
+        result = run_shard(workload, GRID, "1/2", store, evaluator=counting,
+                           workload_spec=SPEC)
+        assert len(counting.calls) == 1  # only the truncated point
+        assert result.evaluated == 1 and result.skipped == 2
+        run_shard(workload, GRID, "2/2", store,
+                  evaluator=_RecordingEvaluator(), workload_spec=SPEC)
+        merged = merge_store(store)
+        # The recording wrapper scores exactly like the analytical default.
+        assert list(merged.points) == sweep_design_space(workload, GRID)
+
+    def test_failures_are_completion_records(self, tmp_path, workload):
+        """A deterministically failing point is not retried on resume."""
+        store = tmp_path / "store"
+        result = run_shard(workload, GRID, "1/1", store,
+                           evaluator=_RecordingEvaluator(poison=32),
+                           workload_spec=SPEC)
+        assert result.failed == 2  # mac_lines=32 under both ae settings
+        counting = _RecordingEvaluator()
+        rerun = run_shard(workload, GRID, "1/1", store, evaluator=counting,
+                          workload_spec=SPEC)
+        assert counting.calls == [] and rerun.failed == 2
+        status = store_status(store)
+        assert status.complete and status.failed == 2
+        with pytest.warns(RuntimeWarning, match="poisoned point"):
+            merged = merge_store(store)
+        with pytest.warns(RuntimeWarning):
+            serial = sweep_design_space(
+                workload, GRID, evaluator=_RecordingEvaluator(poison=32)
+            )
+        assert list(merged.points) == serial
+        assert merged.dropped == 2
+
+
+class TestMergeGuards:
+    def test_incomplete_store_raises(self, tmp_path, workload):
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/3", store, workload_spec=SPEC)
+        with pytest.raises(IncompleteStoreError, match="4 missing"):
+            merge_store(store)
+
+    def test_foreign_partition_file_raises(self, tmp_path, workload):
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/2", store, workload_spec=SPEC)
+        run_shard(workload, GRID, "2/2", store, workload_spec=SPEC)
+        foreign = Path(store) / "shard-0001-of-0004.jsonl"
+        foreign.write_text("")
+        with pytest.raises(StoreMismatchError, match="partition"):
+            merge_store(store)
+
+    def test_unmerged_store_without_manifest(self, tmp_path):
+        with pytest.raises(Exception, match="not a result store"):
+            merge_store(tmp_path / "nowhere")
+
+
+class TestStatus:
+    def test_partial_progress(self, tmp_path, workload):
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "2/3", store, workload_spec=SPEC)
+        status = store_status(store)
+        assert status.grid_size == 6 and not status.complete
+        per_shard = {str(s.shard): (s.done, s.total) for s in status.shards}
+        assert per_shard == {"1/3": (0, 2), "2/3": (2, 2), "3/3": (0, 2)}
+        assert status.done == 2 and status.failed == 0
+
+
+class TestWorkloadSpec:
+    def test_spec_reconstructs_cached_workload(self, workload):
+        assert workload_from_spec(SPEC) is workload  # same cache entry
+
+    def test_opaque_spec_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_spec({"kind": "opaque"})
+
+
+class TestCli:
+    GRID_ARGS = ["--grid", "mac_lines=16,32", "--grid",
+                 "ae_compression=none,0.5"]
+
+    def test_shard_status_merge_in_process(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        for k in (1, 2):
+            assert main(["dse-shard", "--shard", f"{k}/2", "--out", store,
+                         "--models", "deit-tiny"] + self.GRID_ARGS) == 0
+        assert main(["dse-status", store]) == 0
+        out_json = str(tmp_path / "merged.json")
+        assert main(["dse-merge", store, "--json", out_json]) == 0
+        captured = capsys.readouterr().out
+        assert "4/4 grid points done" in captured
+        assert "4 points (analytical evaluator)" in captured
+        merged = json.loads(Path(out_json).read_text())
+        assert len(merged["points"]) == 4
+
+    def test_shard_requires_arguments(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["dse-shard", "--out", "somewhere"])
+        with pytest.raises(SystemExit):
+            main(["dse-shard", "--shard", "1/2"])
+        with pytest.raises(SystemExit):
+            main(["dse-merge"])
+
+    def test_separate_processes_match_serial(self, tmp_path):
+        """Two real CLI processes shard one store; merge == serial sweep."""
+        store = str(tmp_path / "store")
+        base = [sys.executable, "-m", "repro"]
+        env = dict(os.environ)
+        # The harness may run with a relative PYTHONPATH=src; the child
+        # processes run from tmp_path, so pin the package root absolutely.
+        import repro
+        package_root = str(Path(repro.__file__).parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [package_root] + ([env["PYTHONPATH"]] if "PYTHONPATH" in env
+                              else [])
+        )
+        for k in (1, 2):
+            subprocess.run(
+                base + ["dse-shard", "--shard", f"{k}/2", "--out", store,
+                        "--models", "deit-tiny"] + self.GRID_ARGS,
+                check=True, capture_output=True, cwd=str(tmp_path), env=env,
+            )
+        workload = cached_model_workload("deit-tiny", sparsity=0.9)
+        grid = {"mac_lines": (16, 32), "ae_compression": (None, 0.5)}
+        serial = sweep_design_space(workload, grid)
+        merged = merge_store(store)
+        assert list(merged.points) == serial
+
+
+class TestOpaqueWorkloadGuard:
+    """Opaque stores pin the workload by structural fingerprint."""
+
+    def test_different_workloads_cannot_mix(self, tmp_path, workload):
+        other = cached_model_workload("deit-small", sparsity=0.9)
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/2", store)  # no workload_spec
+        with pytest.raises(StoreMismatchError):
+            run_shard(other, GRID, "2/2", store)
+
+    def test_same_workload_structure_accepted(self, tmp_path, workload):
+        from repro.hw import model_workload
+        from repro.models import get_config
+
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/2", store)
+        # A freshly built (different object, equal structure) workload
+        # fingerprints identically — hosts don't share Python identity.
+        rebuilt = model_workload(get_config("deit-tiny"), sparsity=0.9)
+        result = run_shard(rebuilt, GRID, "2/2", store)
+        assert result.complete
+        merged = merge_store(store)
+        assert list(merged.points) == sweep_design_space(workload, GRID)
+
+    def test_hybrid_merge_rejects_wrong_workload(self, tmp_path, workload):
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/1", store, evaluator="hybrid")
+        wrong = cached_model_workload("deit-small", sparsity=0.9)
+        with pytest.raises(StoreMismatchError, match="fingerprint"):
+            merge_store(store, workload=wrong)
+
+    def test_unterminated_complete_record_survives_resume(self, tmp_path,
+                                                          workload):
+        """A final record missing only its newline is terminated, not
+        truncated — the loader counted it as done, so the repair must
+        keep it or the store would silently lose that grid point."""
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/2", store,
+                  evaluator=_RecordingEvaluator(), workload_spec=SPEC)
+        path = ResultStore(store).shard_path(ShardSpec(1, 2))
+        data = path.read_bytes()
+        assert data.endswith(b"\n")
+        path.write_bytes(data[:-1])  # killed between record and newline
+        counting = _RecordingEvaluator()
+        result = run_shard(workload, GRID, "1/2", store, evaluator=counting,
+                           workload_spec=SPEC)
+        assert counting.calls == [] and result.skipped == 3
+        assert path.read_bytes() == data  # newline restored, nothing lost
+        run_shard(workload, GRID, "2/2", store,
+                  evaluator=_RecordingEvaluator(), workload_spec=SPEC)
+        assert list(merge_store(store).points) == \
+            sweep_design_space(workload, GRID)
+
+    def test_recipe_spec_is_fingerprint_checked(self, tmp_path):
+        """A workload_spec that does not describe the evaluated workload
+        cannot mix with shards that honour the recipe."""
+        wrong = cached_model_workload("deit-small", sparsity=0.9)
+        right = cached_model_workload("deit-tiny", sparsity=0.9)
+        store = tmp_path / "store"
+        run_shard(wrong, GRID, "1/2", store, workload_spec=SPEC)
+        with pytest.raises(StoreMismatchError):
+            run_shard(right, GRID, "2/2", store, workload_spec=SPEC)

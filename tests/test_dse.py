@@ -283,3 +283,158 @@ class TestSensitivity:
         # memory-pressured model.
         seconds = [r["seconds"] for r in rows]
         assert seconds[0] >= seconds[-1]
+
+
+class TestGridIndexing:
+    """The deterministic grid index is the dist partition key."""
+
+    GRID = {"mac_lines": [16, 32, 64], "bandwidth_gbps": [19.2, 76.8],
+            "ae_compression": [None, 0.25, 0.5]}
+
+    def test_size_and_decode_match_product(self):
+        from itertools import product
+
+        from repro.harness.dse import grid_point, grid_size
+
+        names = sorted(self.GRID)
+        combos = list(product(*(self.GRID[n] for n in names)))
+        assert grid_size(self.GRID) == len(combos) == 18
+        for index, combo in enumerate(combos):
+            assert grid_point(self.GRID, index) == combo
+
+    def test_out_of_range_raises(self):
+        from repro.harness.dse import grid_point
+
+        with pytest.raises(IndexError):
+            grid_point(self.GRID, 18)
+        with pytest.raises(IndexError):
+            grid_point(self.GRID, -1)
+
+    def test_empty_values_raise(self):
+        from repro.harness.dse import grid_size
+
+        with pytest.raises(ValueError):
+            grid_size({"mac_lines": []})
+
+    def test_indexed_iteration_matches_sweep(self, small_workload):
+        from repro.harness.dse import iter_indexed_design_points
+
+        grid = {"mac_lines": [16, 32, 64], "ae_compression": [None, 0.5]}
+        serial = sweep_design_space(small_workload, grid)
+        subset = dict(iter_indexed_design_points(small_workload, grid,
+                                                 [5, 1, 3]))
+        assert subset == {1: serial[1], 3: serial[3], 5: serial[5]}
+        everything = dict(iter_indexed_design_points(small_workload, grid))
+        assert [everything[i] for i in range(len(serial))] == serial
+
+    def test_indexed_iteration_parallel_same_pairs(self, small_workload):
+        from repro.harness.dse import iter_indexed_design_points
+
+        grid = {"mac_lines": [16, 32, 64], "ae_compression": [None, 0.5]}
+        serial = dict(iter_indexed_design_points(small_workload, grid))
+        parallel = dict(iter_indexed_design_points(small_workload, grid,
+                                                   n_jobs=2))
+        assert parallel == serial
+
+    def test_hybrid_rejected(self, small_workload):
+        from repro.harness.dse import iter_indexed_design_points
+
+        with pytest.raises(ValueError, match="hybrid"):
+            next(iter_indexed_design_points(small_workload,
+                                            {"mac_lines": [16]},
+                                            evaluator="hybrid"))
+
+    def test_keep_failures_yields_them(self, small_workload):
+        from repro.harness.dse import PointFailure, \
+            iter_indexed_design_points
+
+        def explode(workload, config, accel_kwargs):
+            raise RuntimeError("nope")
+
+        explode.name = "explode"
+        pairs = list(iter_indexed_design_points(
+            small_workload, {"mac_lines": [16, 32]}, evaluator=explode,
+            keep_failures=True,
+        ))
+        assert [index for index, _ in pairs] == [0, 1]
+        assert all(isinstance(res, PointFailure) for _, res in pairs)
+        assert all("nope" in res.error for _, res in pairs)
+
+
+class TestAdaptiveSweep:
+    """Cheap sweeps stay serial; forced pools still match bit for bit."""
+
+    GRID = {"mac_lines": [16, 32, 64], "ae_compression": [None, 0.5]}
+
+    def test_cheap_grid_never_spawns_pool(self, small_workload, monkeypatch):
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool spawned for a trivially cheap sweep")
+
+        monkeypatch.setattr(dse_module, "ProcessPoolExecutor", forbidden)
+        monkeypatch.setattr(dse_module, "ThreadPoolExecutor", forbidden)
+        serial = sweep_design_space(small_workload, self.GRID)
+        adaptive = sweep_design_space(small_workload, self.GRID, n_jobs=3)
+        assert adaptive == serial
+
+    def test_forced_pool_matches_serial(self, small_workload):
+        serial = sweep_design_space(small_workload, self.GRID)
+        forced = sweep_design_space(small_workload, self.GRID, n_jobs=3,
+                                    min_parallel_s=0.0)
+        assert forced == serial
+
+    def test_plan_parallel_math(self):
+        from repro.harness.dse import _plan_parallel
+
+        # Remaining work cheaper than the pool: serial.
+        assert _plan_parallel(0.001, 46, 4, 0.25) == (1, 46)
+        # Expensive points: one point per chunk for balance.
+        assert _plan_parallel(0.2, 46, 4, 0.25) == (4, 1)
+        # Cheap points, big grid: chunks target ~50 ms of work.
+        n_jobs, chunk = _plan_parallel(0.002, 1000, 4, 0.25)
+        assert n_jobs == 4 and chunk == 25
+        # Never exceeds the one-chunk-per-worker split.
+        n_jobs, chunk = _plan_parallel(0.001, 400, 4, 0.25)
+        assert chunk <= -(-400 // 4)
+        # Nothing left: serial, floor chunk of 1.
+        assert _plan_parallel(0.5, 0, 4, 0.25) == (1, 1)
+
+    def test_pilot_failures_still_warn_and_drop(self, small_workload):
+        calls = []
+
+        def flaky(workload, config, accel_kwargs):
+            calls.append(config.num_mac_lines)
+            if config.num_mac_lines == 16:
+                raise RuntimeError("pilot boom")
+            from repro.sim import AnalyticalEvaluator
+
+            return AnalyticalEvaluator()(workload, config, accel_kwargs)
+
+        flaky.name = "flaky"
+        with pytest.warns(RuntimeWarning, match="pilot boom"):
+            points = sweep_design_space(small_workload, self.GRID,
+                                        n_jobs=2, evaluator=flaky)
+        # Both poisoned points (one of them a pilot) dropped, rest kept.
+        assert len(points) == 4
+        assert all(p.parameter("mac_lines") != 16 for p in points)
+
+    def test_cheap_hybrid_grid_never_spawns_pool(self, small_workload,
+                                                 monkeypatch):
+        """The adaptive pilot covers the hybrid coarse phase too."""
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool spawned for a cheap hybrid sweep")
+
+        monkeypatch.setattr(dse_module, "ProcessPoolExecutor", forbidden)
+        monkeypatch.setattr(dse_module, "ThreadPoolExecutor", forbidden)
+        serial = sweep_design_space(small_workload, self.GRID,
+                                    evaluator="hybrid")
+        adaptive = sweep_design_space(small_workload, self.GRID, n_jobs=3,
+                                      evaluator="hybrid")
+        assert adaptive == serial
+
+    def test_forced_hybrid_pool_matches_serial(self, small_workload):
+        serial = sweep_design_space(small_workload, self.GRID,
+                                    evaluator="hybrid")
+        forced = sweep_design_space(small_workload, self.GRID, n_jobs=3,
+                                    evaluator="hybrid", min_parallel_s=0.0)
+        assert forced == serial

@@ -121,3 +121,90 @@ class TestTiming:
         assert d["name"] == "noop"
         assert d["repeats"] == 2
         assert d["best_s"] <= d["mean_s"] or d["best_s"] == pytest.approx(d["mean_s"])
+
+
+class TestInstanceMemo:
+    class _Frozen:
+        """Stand-in for a frozen dataclass (plain object with __dict__)."""
+
+    def test_builds_once_per_key(self):
+        from repro.perf import instance_memo
+
+        obj = self._Frozen()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return len(calls)
+
+        assert instance_memo(obj, "_t", ("a", 1), build) == 1
+        assert instance_memo(obj, "_t", ("a", 1), build) == 1
+        assert instance_memo(obj, "_t", ("a", 2), build) == 2
+        assert len(calls) == 2
+        assert set(obj.__dict__["_t"]) == {("a", 1), ("a", 2)}
+
+
+class TestCycleGeometryMemo:
+    """Per-(workload, config) geometry memoized on the workload instance."""
+
+    @pytest.fixture()
+    def workload(self):
+        # A private copy: memo assertions must not see other tests' entries.
+        return model_workload(get_config("deit-tiny"), sparsity=0.9)
+
+    def _simulate(self, workload, **config_fields):
+        from dataclasses import replace
+
+        from repro.hw.cycle_sim import CycleAccurateSimulator
+        from repro.hw.params import VITCOD_DEFAULT
+
+        config = replace(VITCOD_DEFAULT, **config_fields)
+        return CycleAccurateSimulator(config=config).simulate_attention(
+            workload
+        )
+
+    def test_keys_track_only_relevant_config_fields(self, workload):
+        self._simulate(workload)
+        layer = workload.attention_layers[0]
+        table = layer.__dict__["_cycle_geometry"]
+        baseline = len(table)
+        self._simulate(workload)  # same config: no new entries
+        assert len(table) == baseline
+        # A bandwidth change invalidates service times but not the
+        # MAC-line allocation; a mac_lines change does the reverse.
+        self._simulate(workload, dram_bandwidth_bytes_per_s=30e9)
+        assert len(table) == baseline + 1
+        self._simulate(workload, num_mac_lines=32)
+        assert len(table) == baseline + 2
+
+    def test_memoized_results_bit_exact_vs_fresh_workload(self, workload):
+        warm = self._simulate(workload)  # populates the memo
+        warm2 = self._simulate(workload)  # served from the memo
+        cold = self._simulate(
+            model_workload(get_config("deit-tiny"), sparsity=0.9)
+        )
+        assert warm == warm2 == cold
+
+    def test_pickle_strips_geometry_tables(self, workload):
+        import pickle
+
+        self._simulate(workload)
+        clone = pickle.loads(pickle.dumps(workload))
+        assert all("_cycle_geometry" not in layer.__dict__
+                   for layer in clone.attention_layers)
+
+    def test_custom_dram_model_bypasses_service_memo(self, workload):
+        from repro.hw.cycle_sim import CycleAccurateSimulator
+        from repro.hw.dram import DramModel
+
+        class TweakedDram(DramModel):
+            def service_cycles(self, request):
+                return 2.0 * super().service_cycles(request)
+
+        sim = CycleAccurateSimulator(dram=TweakedDram())
+        sim.simulate_attention(workload)
+        layer = workload.attention_layers[0]
+        table = layer.__dict__.get("_cycle_geometry", {})
+        # Allocation (DRAM-independent) may be memoized; service times of
+        # an unrecognised DRAM model must not be.
+        assert not any(key[0] == "services" for key in table)

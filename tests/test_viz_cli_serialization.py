@@ -197,3 +197,11 @@ class TestCLI:
             parse_grid(["mac_lines=32,"])  # trailing comma
         with pytest.raises(SystemExit):
             parse_grid(["mac_lines=fast"])  # non-numeric
+
+
+def test_cli_rejects_stray_positional_for_plain_experiments():
+    """Only the dse-shard/dse-merge/dse-status verbs take a store path."""
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="store"):
+        main(["fig8", "stray-token"])
