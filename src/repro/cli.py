@@ -7,6 +7,8 @@ Runs any of the paper's experiments headlessly and prints/export results:
     python -m repro roofline
     python -m repro polarize --tokens 197 --heads 12
     python -m repro dse --models deit-tiny --evaluator cycle --n-jobs 4
+    python -m repro dse --models deit-base --batch-size 2048   # batched grid
+    python -m repro dse --models deit-base --no-batch          # per-point ref
     python -m repro list
 
 Sharded sweeps (see :mod:`repro.dist`) split one DSE study across
@@ -120,6 +122,14 @@ def build_parser():
                              "ae_compression=none,0.5")
     parser.add_argument("--n-jobs", type=int, default=1,
                         help="dse: parallel evaluation workers (default 1)")
+    parser.add_argument("--batch-size", type=int, default=None, metavar="N",
+                        help="dse/dse-shard: grid points scored per batch "
+                             "chunk for batch-capable evaluators (default "
+                             "adaptive, ~1024)")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="dse/dse-shard: force per-point evaluation "
+                             "(the batched analytical path is bit-identical"
+                             "; this is the reference escape hatch)")
     parser.add_argument("--shard", metavar="K/N", default=None,
                         help="dse-shard: which shard of an N-way "
                              "partition this process evaluates")
@@ -127,6 +137,41 @@ def build_parser():
                         help="dse-shard: result-store directory (shared "
                              "by every shard of the study)")
     return parser
+
+
+def _cli_evaluator(name, no_batch):
+    """The evaluator the dse/dse-shard commands should use.
+
+    ``--no-batch`` swaps the batch-capable analytical default for the
+    per-point reference implementation (bit-identical results, one
+    evaluator call per grid point) — including a hybrid sweep's coarse
+    phase.  Manifests are unaffected: both execution modes serialise to
+    the same ``{"name": ...}`` spec, so batched and per-point shards can
+    share one store.
+    """
+    if not no_batch:
+        return name
+    from .sim.evaluator import AnalyticalEvaluator, HybridEvaluator
+
+    if name == "analytical":
+        return AnalyticalEvaluator()
+    if name == "hybrid":
+        return HybridEvaluator(coarse=AnalyticalEvaluator())
+    return name
+
+
+def _format_eta(eta_seconds):
+    """Compact human ETA: ``-`` done, ``?`` unknown, else h/m/s."""
+    if eta_seconds is None:
+        return "?"
+    if eta_seconds <= 0:
+        return "-"
+    seconds = int(round(eta_seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{seconds % 3600 // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{max(seconds, 1)}s"
 
 
 def _dse_result(model, sparsity, evaluator_name, grid, points):
@@ -176,6 +221,11 @@ def _run(args):
         raise SystemExit(
             f"unexpected positional argument {args.store!r}: only "
             "dse-shard/dse-merge/dse-status take a store directory"
+        )
+    if args.batch_size is not None and args.batch_size < 1:
+        raise SystemExit(
+            f"--batch-size must be a positive point count, got "
+            f"{args.batch_size}"
         )
     if name == "list":
         for key in sorted(EXPERIMENTS):
@@ -280,8 +330,11 @@ def _run(args):
         model = args.models[0] if args.models else "deit-tiny"
         grid = parse_grid(args.grid)
         workload = cached_model_workload(model, sparsity=args.sparsity)
-        points = sweep_design_space(workload, grid, n_jobs=args.n_jobs,
-                                    evaluator=args.evaluator)
+        points = sweep_design_space(
+            workload, grid, n_jobs=args.n_jobs,
+            evaluator=_cli_evaluator(args.evaluator, args.no_batch),
+            chunksize=args.batch_size,
+        )
         return _dse_result(model, args.sparsity, args.evaluator, grid,
                            points)
 
@@ -298,8 +351,9 @@ def _run(args):
         grid = parse_grid(args.grid)
         workload = cached_model_workload(model, sparsity=args.sparsity)
         run = run_shard(
-            workload, grid, args.shard, out, evaluator=args.evaluator,
-            n_jobs=args.n_jobs,
+            workload, grid, args.shard, out,
+            evaluator=_cli_evaluator(args.evaluator, args.no_batch),
+            n_jobs=args.n_jobs, chunksize=args.batch_size,
             workload_spec=model_workload_spec(model, sparsity=args.sparsity),
         )
         print(f"shard {run.shard}: {run.evaluated} evaluated, "
@@ -342,13 +396,15 @@ def _run(args):
             raise SystemExit("dse-status requires a store directory")
         status = store_status(store)
         print(harness.format_table(
-            ["shard", "done", "failed", "pending", "total"],
-            [[str(s.shard), s.done, s.failed, s.pending, s.total]
+            ["shard", "done", "failed", "pending", "total", "done%", "eta"],
+            [[str(s.shard), s.done, s.failed, s.pending, s.total,
+              f"{s.fraction_done:.0%}", _format_eta(s.eta_seconds)]
              for s in status.shards],
         ))
-        fraction = status.done / max(status.grid_size, 1)
         line = (f"\n{status.done}/{status.grid_size} grid points done "
-                f"({fraction:.0%}), {status.failed} failed")
+                f"({status.fraction_done:.0%}), {status.failed} failed")
+        if not status.complete:
+            line += f"; ETA {_format_eta(status.eta_seconds)}"
         if status.manifest["evaluator"].get("name") == "hybrid":
             line += f"; {status.fine_records} survivors fine re-scored"
         print(line)
@@ -356,11 +412,15 @@ def _run(args):
             "grid_size": status.grid_size,
             "done": status.done,
             "failed": status.failed,
+            "fraction_done": status.fraction_done,
+            "eta_seconds": status.eta_seconds,
             "complete": status.complete,
             "fine_records": status.fine_records,
             "shards": [
                 {"shard": str(s.shard), "done": s.done,
-                 "failed": s.failed, "total": s.total}
+                 "failed": s.failed, "total": s.total,
+                 "fraction_done": s.fraction_done,
+                 "eta_seconds": s.eta_seconds}
                 for s in status.shards
             ],
         }

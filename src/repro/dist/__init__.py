@@ -31,15 +31,34 @@ one store are how the shard-scaling benchmark
 the multi-host path.
 """
 
-from .merge import (MergeResult, ShardStatus, StoreStatus, merge_store,
-                    store_status)
-from .runner import (ShardRunResult, model_workload_spec, run_shard,
-                     workload_fingerprint, workload_from_spec)
+from .merge import (
+    MergeResult,
+    ShardStatus,
+    StoreStatus,
+    merge_store,
+    store_status,
+)
+from .runner import (
+    ShardRunResult,
+    model_workload_spec,
+    run_shard,
+    workload_fingerprint,
+    workload_from_spec,
+)
 from .sharding import ShardSpec, shard_indices
-from .store import (IncompleteStoreError, JsonlAppender, ResultStore,
-                    StoreCorruptError, StoreError, StoreMismatchError,
-                    build_manifest, config_from_dict, config_to_dict,
-                    decode_record, encode_record)
+from .store import (
+    IncompleteStoreError,
+    JsonlAppender,
+    ResultStore,
+    StoreCorruptError,
+    StoreError,
+    StoreMismatchError,
+    build_manifest,
+    config_from_dict,
+    config_to_dict,
+    decode_record,
+    encode_record,
+)
 
 __all__ = [
     "ShardSpec",

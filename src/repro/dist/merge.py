@@ -27,18 +27,35 @@ import warnings
 from dataclasses import dataclass
 from typing import Tuple
 
-from ..harness.dse import (DesignPoint, PointFailure, _hybrid_survivors,
-                           iter_indexed_design_points, pareto_frontier)
-from ..sim.evaluator import HybridEvaluator, evaluator_from_spec, \
-    resolve_evaluator
+from ..harness.dse import (
+    DesignPoint,
+    PointFailure,
+    _hybrid_survivors,
+    iter_indexed_design_points,
+    pareto_frontier,
+)
+from ..sim.evaluator import HybridEvaluator, evaluator_from_spec, resolve_evaluator
 from .runner import workload_fingerprint, workload_from_spec
 from .sharding import ShardSpec
-from .store import (FINE_NAME, IncompleteStoreError, JsonlAppender,
-                    ResultStore, StoreCorruptError, StoreMismatchError,
-                    config_from_dict, decode_record, encode_record)
+from .store import (
+    FINE_NAME,
+    IncompleteStoreError,
+    JsonlAppender,
+    ResultStore,
+    StoreCorruptError,
+    StoreMismatchError,
+    config_from_dict,
+    decode_record,
+    encode_record,
+)
 
-__all__ = ["MergeResult", "merge_store", "ShardStatus", "StoreStatus",
-           "store_status"]
+__all__ = [
+    "MergeResult",
+    "merge_store",
+    "ShardStatus",
+    "StoreStatus",
+    "store_status",
+]
 
 
 @dataclass(frozen=True)
@@ -100,8 +117,7 @@ def _load_merged_records(store: ResultStore, manifest: dict) -> dict:
     return records
 
 
-def merge_store(store, workload=None, evaluator=None,
-                n_jobs: int = 1) -> MergeResult:
+def merge_store(store, workload=None, evaluator=None, n_jobs: int = 1) -> MergeResult:
     """Merge a complete sharded store into the single-process sweep result.
 
     For analytical/cycle studies this touches no evaluator: records are
@@ -125,9 +141,7 @@ def merge_store(store, workload=None, evaluator=None,
     for index in range(manifest["grid_size"]):
         record_index, result = decode_record(records[index])
         if record_index != index:
-            raise StoreCorruptError(
-                f"record indexed {index} decodes to {record_index}"
-            )
+            raise StoreCorruptError(f"record indexed {index} decodes to {record_index}")
         if isinstance(result, PointFailure):
             _drop_failure(index, result)
             dropped += 1
@@ -178,8 +192,7 @@ def _fine_rescore(store, manifest, pairs, workload, evaluator, n_jobs):
             "structure fingerprint the store's shards were run against"
         )
     base_config = config_from_dict(manifest["base_config"])
-    grid = {name: tuple(values) for name, values in
-            manifest["grid"].items()}
+    grid = {name: tuple(values) for name, values in manifest["grid"].items()}
 
     survivors = [index for index, _ in _hybrid_survivors(pairs)]
 
@@ -225,10 +238,18 @@ class ShardStatus:
     total: int
     done: int  # completion records present (scored + failed)
     failed: int
+    #: Seconds until this shard finishes at its observed throughput
+    #: (record timestamps), ``0.0`` when complete, ``None`` when the
+    #: shard has too few timestamped records to estimate a rate.
+    eta_seconds: float = None
 
     @property
     def pending(self) -> int:
         return self.total - self.done
+
+    @property
+    def fraction_done(self) -> float:
+        return self.done / self.total if self.total else 1.0
 
     @property
     def complete(self) -> bool:
@@ -256,12 +277,55 @@ class StoreStatus:
         return sum(s.failed for s in self.shards)
 
     @property
+    def fraction_done(self) -> float:
+        return self.done / self.grid_size if self.grid_size else 1.0
+
+    @property
     def complete(self) -> bool:
         return self.done >= self.grid_size
 
+    @property
+    def eta_seconds(self):
+        """Seconds until the *slowest* shard finishes (a sharded study is
+        done when its last shard is), ``None`` while any running shard's
+        rate is still unknown."""
+        etas = [s.eta_seconds for s in self.shards]
+        if any(eta is None for eta in etas):
+            return None
+        return max(etas, default=0.0)
+
+
+def _shard_eta(records, owned, pending) -> float:
+    """ETA of one shard from its completion-record timestamps.
+
+    The observed rate is ``(records - 1) / (newest - oldest)`` over this
+    shard's timestamped records — resume-friendly (gaps between runs
+    flatten the rate estimate rather than breaking it) and free of any
+    clock-synchronisation assumption across hosts, since only one
+    shard's own timestamps are ever compared.  Returns ``0.0`` for a
+    complete shard and ``None`` below two distinct timestamps (no rate
+    observable yet).
+    """
+    if pending <= 0:
+        return 0.0
+    stamps = sorted(
+        float(record["t"]) for index, record in records.items()
+        if index in owned and "t" in record
+    )
+    if len(stamps) < 2 or stamps[-1] <= stamps[0]:
+        return None
+    rate = (len(stamps) - 1) / (stamps[-1] - stamps[0])
+    return pending / rate
+
 
 def store_status(store) -> StoreStatus:
-    """Inspect a store's progress without evaluating anything."""
+    """Inspect a store's progress without evaluating anything.
+
+    Besides per-shard completion counts, each :class:`ShardStatus`
+    carries an ``eta_seconds`` derived from its completion-record
+    timestamps (see :func:`_shard_eta`); stores written before records
+    carried timestamps simply report ``None``.
+    """
     store = ResultStore(store)
     manifest = store.read_manifest()
     size = manifest["grid_size"]
@@ -271,10 +335,18 @@ def store_status(store) -> StoreStatus:
         records = store.load_records(store.shard_path(shard))
         owned = set(shard.indices(size))
         done = sum(1 for index in records if index in owned)
-        failed = sum(1 for index, record in records.items()
-                     if index in owned and "err" in record)
-        statuses.append(ShardStatus(shard=shard, total=len(owned),
-                                    done=done, failed=failed))
+        failed = sum(
+            1
+            for index, record in records.items()
+            if index in owned and "err" in record
+        )
+        status = ShardStatus(
+            shard=shard,
+            total=len(owned),
+            done=done,
+            failed=failed,
+            eta_seconds=_shard_eta(records, owned, len(owned) - done),
+        )
+        statuses.append(status)
     fine = len(store.load_records(store.fine_path))
-    return StoreStatus(manifest=manifest, shards=tuple(statuses),
-                       fine_records=fine)
+    return StoreStatus(manifest=manifest, shards=tuple(statuses), fine_records=fine)

@@ -5,8 +5,12 @@
 skip every index the store already holds a completion record for, stream
 the rest through the shared DSE engine (any pluggable evaluator, optional
 in-host ``n_jobs`` fan-out), and append one record per point as it
-completes.  Killing the process at any moment loses at most the point in
-flight; re-running the same command finishes the shard.
+completes.  Batch-capable evaluators — the analytical default — score the
+shard's strided index set in bounded whole-chunk numpy batches
+(:mod:`repro.harness.dse`), still emitting one durable completion record
+per point.  Killing the process at any moment loses at most the chunk in
+flight (one point, for per-point evaluators); re-running the same command
+finishes the shard.
 
 Workload recipes (`workload spec` dicts) make stores portable across
 hosts: instead of pickling a workload, the manifest records *how to build
@@ -22,16 +26,20 @@ import hashlib
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..harness.dse import (PointFailure, grid_size,
-                           iter_indexed_design_points)
+from ..harness.dse import PointFailure, grid_size, iter_indexed_design_points
 from ..hw.params import VITCOD_DEFAULT
 from ..perf.cache import cached_model_workload, seeded_workload
 from ..sim.evaluator import HybridEvaluator, resolve_evaluator
 from .sharding import ShardSpec
 from .store import JsonlAppender, ResultStore, build_manifest, encode_record
 
-__all__ = ["ShardRunResult", "run_shard", "model_workload_spec",
-           "workload_from_spec", "workload_fingerprint"]
+__all__ = [
+    "ShardRunResult",
+    "run_shard",
+    "model_workload_spec",
+    "workload_from_spec",
+    "workload_fingerprint",
+]
 
 
 def workload_fingerprint(workload) -> str:
@@ -63,8 +71,9 @@ def workload_fingerprint(workload) -> str:
     return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
 
 
-def model_workload_spec(model, sparsity=0.9, theta_d=0.25, seed=0,
-                        index_format="csc", reordered=True) -> dict:
+def model_workload_spec(
+    model, sparsity=0.9, theta_d=0.25, seed=0, index_format="csc", reordered=True
+) -> dict:
     """Recipe for a registry model's workload, for result-store manifests.
 
     Mirrors :func:`repro.perf.cached_model_workload`'s full parameter
@@ -95,8 +104,10 @@ def workload_from_spec(spec):
             f"({spec!r}); pass workload= explicitly"
         )
     return cached_model_workload(
-        spec["model"], sparsity=spec.get("sparsity", 0.9),
-        theta_d=spec.get("theta_d", 0.25), seed=spec.get("seed", 0),
+        spec["model"],
+        sparsity=spec.get("sparsity", 0.9),
+        theta_d=spec.get("theta_d", 0.25),
+        seed=spec.get("seed", 0),
         index_format=spec.get("index_format", "csc"),
         reordered=spec.get("reordered", True),
     )
@@ -119,9 +130,17 @@ class ShardRunResult:
         return self.evaluated + self.skipped == self.total
 
 
-def run_shard(workload, grid, shard, store, base_config=None,
-              evaluator=None, n_jobs=1, chunksize=None,
-              workload_spec=None) -> ShardRunResult:
+def run_shard(
+    workload,
+    grid,
+    shard,
+    store,
+    base_config=None,
+    evaluator=None,
+    n_jobs=1,
+    chunksize=None,
+    workload_spec=None,
+) -> ShardRunResult:
     """Evaluate shard ``K/N`` of ``grid`` into a durable result store.
 
     Creates (or validates) the store's manifest, loads this shard's
@@ -142,15 +161,17 @@ def run_shard(workload, grid, shard, store, base_config=None,
     shard = ShardSpec.parse(shard)
     grid = {name: tuple(values) for name, values in grid.items()}
     evaluator = resolve_evaluator(evaluator)
-    point_evaluator = (evaluator.coarse
-                       if isinstance(evaluator, HybridEvaluator)
-                       else evaluator)
+    point_evaluator = (
+        evaluator.coarse if isinstance(evaluator, HybridEvaluator) else evaluator
+    )
     base_config = base_config or VITCOD_DEFAULT
     if workload is None:
         workload = seeded_workload()
         if workload is None:
-            raise ValueError("workload is required (or seed the process "
-                             "with repro.perf.seed_worker_workload)")
+            raise ValueError(
+                "workload is required (or seed the process "
+                "with repro.perf.seed_worker_workload)"
+            )
 
     # Pin the store to this workload's *structure*, recipe or not: two
     # shards run against different workloads then disagree on the
@@ -160,26 +181,37 @@ def run_shard(workload, grid, shard, store, base_config=None,
     # this same fingerprint).
     if workload_spec is None:
         workload_spec = {"kind": "opaque"}
-    workload_spec = {**workload_spec,
-                     "fingerprint": workload_fingerprint(workload)}
+    workload_spec = {**workload_spec, "fingerprint": workload_fingerprint(workload)}
     store = ResultStore(store)
-    store.ensure_manifest(build_manifest(
-        grid, shard.count, evaluator, base_config, workload_spec
-    ))
+    store.ensure_manifest(
+        build_manifest(grid, shard.count, evaluator, base_config, workload_spec)
+    )
     path = store.shard_path(shard)
     done = store.load_records(path)
     owned = shard.indices(grid_size(grid))
     todo = [index for index in owned if index not in done]
     failed = sum(1 for record in done.values() if "err" in record)
+    stream = iter_indexed_design_points(
+        workload,
+        grid,
+        todo,
+        base_config=base_config,
+        n_jobs=n_jobs,
+        chunksize=chunksize,
+        evaluator=point_evaluator,
+        keep_failures=True,
+    )
     with JsonlAppender(path) as out:
-        for index, result in iter_indexed_design_points(
-                workload, grid, todo, base_config=base_config,
-                n_jobs=n_jobs, chunksize=chunksize,
-                evaluator=point_evaluator, keep_failures=True):
+        for index, result in stream:
             out.append(encode_record(index, result))
             if isinstance(result, PointFailure):
                 failed += 1
     return ShardRunResult(
-        shard=shard, store=store.root, path=path, total=len(owned),
-        evaluated=len(todo), skipped=len(owned) - len(todo), failed=failed,
+        shard=shard,
+        store=store.root,
+        path=path,
+        total=len(owned),
+        evaluated=len(todo),
+        skipped=len(owned) - len(todo),
+        failed=failed,
     )

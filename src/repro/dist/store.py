@@ -15,9 +15,11 @@ via a network filesystem across hosts):
 Design rules, in order of importance:
 
 * **append-only completion records** — every evaluated grid point becomes
-  one JSON line carrying its grid index, parameters and objectives (or
-  the evaluator's error); a record present in the file is a point that
-  never needs re-evaluating, which is the whole resume story;
+  one JSON line carrying its grid index, parameters, objectives (or the
+  evaluator's error) and completion timestamp; a record present in the
+  file is a point that never needs re-evaluating, which is the whole
+  resume story, and the timestamps give ``dse-status`` per-shard
+  throughput and ETA for free;
 * **atomic-enough writes** — each record is a single ``write`` of one
   line followed by a flush (an ``fsync`` every few dozen records and at
   close bounds what an OS crash can lose); a killed writer can leave at
@@ -39,6 +41,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import time
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List
@@ -94,32 +97,41 @@ class IncompleteStoreError(StoreError):
 
 def _dump(data) -> str:
     """Canonical one-line JSON (sorted keys, no spaces, finite floats)."""
-    return json.dumps(data, sort_keys=True, separators=(",", ":"),
-                      allow_nan=False)
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), allow_nan=False)
 
 
 # ----------------------------------------------------------------------
 # Completion records
 # ----------------------------------------------------------------------
-def encode_record(index: int, result) -> dict:
+def encode_record(index: int, result, timestamp=None) -> dict:
     """One completion record: a scored point or a captured failure.
 
     Keys are terse on purpose (one record per grid point adds up):
     ``i`` grid index, ``p`` parameters as ``[name, value]`` pairs, then
-    either ``s``/``e``/``a`` (seconds, energy, area proxy) or ``err``.
+    either ``s``/``e``/``a`` (seconds, energy, area proxy) or ``err``,
+    plus ``t`` — the unix completion time (``timestamp`` overrides the
+    clock; progress metadata only, ignored by :func:`decode_record`, so
+    :func:`repro.dist.store_status` can derive per-shard throughput and
+    ETA without affecting the bit-exact merge).
     """
     if isinstance(result, PointFailure):
-        return {"i": int(index),
-                "p": [[name, value] for name, value in result.parameters],
-                "err": result.error}
-    if isinstance(result, DesignPoint):
-        return {"i": int(index),
-                "p": [[name, value] for name, value in result.parameters],
-                "s": result.seconds, "e": result.energy_joules,
-                "a": result.area_proxy}
-    raise TypeError(
-        f"expected DesignPoint or PointFailure, got {type(result)!r}"
-    )
+        record = {
+            "i": int(index),
+            "p": [[name, value] for name, value in result.parameters],
+            "err": result.error,
+        }
+    elif isinstance(result, DesignPoint):
+        record = {
+            "i": int(index),
+            "p": [[name, value] for name, value in result.parameters],
+            "s": result.seconds,
+            "e": result.energy_joules,
+            "a": result.area_proxy,
+        }
+    else:
+        raise TypeError(f"expected DesignPoint or PointFailure, got {type(result)!r}")
+    record["t"] = time.time() if timestamp is None else float(timestamp)
+    return record
 
 
 def decode_record(record: dict):
@@ -128,15 +140,17 @@ def decode_record(record: dict):
         index = int(record["i"])
         parameters = tuple((str(name), value) for name, value in record["p"])
         if "err" in record:
-            return index, PointFailure(parameters=parameters,
-                                       error=str(record["err"]))
-        return index, DesignPoint(parameters=parameters,
-                                  seconds=record["s"],
-                                  energy_joules=record["e"],
-                                  area_proxy=record["a"])
+            return index, PointFailure(parameters=parameters, error=str(record["err"]))
+        return index, DesignPoint(
+            parameters=parameters,
+            seconds=record["s"],
+            energy_joules=record["e"],
+            area_proxy=record["a"],
+        )
     except (KeyError, TypeError, ValueError) as exc:
-        raise StoreCorruptError(f"malformed completion record "
-                                f"{record!r}: {exc}") from None
+        raise StoreCorruptError(
+            f"malformed completion record {record!r}: {exc}"
+        ) from None
 
 
 # ----------------------------------------------------------------------
@@ -154,8 +168,9 @@ def config_from_dict(data: dict) -> HardwareConfig:
     return HardwareConfig(**fields)
 
 
-def build_manifest(grid, num_shards: int, evaluator, base_config,
-                   workload_spec=None) -> dict:
+def build_manifest(
+    grid, num_shards: int, evaluator, base_config, workload_spec=None
+) -> dict:
     """The settings fingerprint every shard of one study must agree on."""
     grid = {name: list(values) for name, values in grid.items()}
     return {
@@ -165,8 +180,7 @@ def build_manifest(grid, num_shards: int, evaluator, base_config,
         "num_shards": int(num_shards),
         "evaluator": evaluator_spec(evaluator),
         "base_config": config_to_dict(base_config),
-        "workload": dict(workload_spec) if workload_spec else
-                    {"kind": "opaque"},
+        "workload": dict(workload_spec) if workload_spec else {"kind": "opaque"},
     }
 
 
@@ -327,19 +341,15 @@ class ResultStore:
                     "use a fresh --out directory per study"
                 )
             return existing
-        tmp = self.manifest_path.with_name(
-            f"{MANIFEST_NAME}.tmp.{os.getpid()}"
-        )
-        tmp.write_text(json.dumps(expected, sort_keys=True, indent=2,
-                                  allow_nan=False) + "\n")
+        tmp = self.manifest_path.with_name(f"{MANIFEST_NAME}.tmp.{os.getpid()}")
+        payload = json.dumps(expected, sort_keys=True, indent=2, allow_nan=False)
+        tmp.write_text(payload + "\n")
         os.replace(tmp, self.manifest_path)
         return expected
 
     # -- shard files ---------------------------------------------------
     def shard_path(self, shard) -> Path:
-        return self.root / (
-            f"shard-{shard.index:04d}-of-{shard.count:04d}.jsonl"
-        )
+        return self.root / f"shard-{shard.index:04d}-of-{shard.count:04d}.jsonl"
 
     def shard_files(self) -> List[tuple]:
         """Present shard files as sorted ``(index, count, path)`` triples."""
@@ -348,9 +358,7 @@ class ResultStore:
             for entry in self.root.iterdir():
                 match = _SHARD_RE.match(entry.name)
                 if match:
-                    files.append(
-                        (int(match.group(1)), int(match.group(2)), entry)
-                    )
+                    files.append((int(match.group(1)), int(match.group(2)), entry))
         return sorted(files)
 
     @property

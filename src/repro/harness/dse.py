@@ -25,6 +25,18 @@ cycle-accurately, survivors in deterministic grid order), or any
 raises is dropped with a :class:`RuntimeWarning` (the sweep never hangs on
 a poisoned worker task); unknown grid *parameters* still raise.
 
+Evaluators that implement the
+:class:`~repro.sim.evaluator.BatchEvaluator` surface — the analytical
+default does — are handed whole bounded chunks of grid points and score
+them as single numpy batch ops instead of one Python call per point, in
+serial runs, in pool workers, in the hybrid coarse phase and in
+:mod:`repro.dist` shards alike.  Batching is an execution detail only:
+results are bit-for-bit the per-point sweep's (points, ordering, Pareto
+frontier, failure attribution), which is CI-enforced.  Pass a plain
+:class:`~repro.sim.evaluator.AnalyticalEvaluator` instance (CLI:
+``--no-batch``) to force per-point execution, and ``chunksize`` (CLI:
+``--batch-size``) to override the batch granularity.
+
 Parallel runs fan grid points across ``concurrent.futures`` workers in
 chunks with a bounded number of chunks in flight, yielding chunks
 ``as_completed``; the workload is shipped once per worker through the pool
@@ -48,8 +60,12 @@ from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
-    ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, replace
 from itertools import islice, product
 from math import ceil
@@ -61,13 +77,25 @@ import numpy as np
 from ..hw.params import VITCOD_DEFAULT, HardwareConfig
 from ..hw.workload import ModelWorkload
 from ..perf.cache import seed_worker_workload, seeded_workload
-from ..sim.evaluator import Evaluator, HybridEvaluator, \
-    UnsupportedParameterError, resolve_evaluator
+from ..sim.evaluator import (
+    Evaluator,
+    HybridEvaluator,
+    UnsupportedParameterError,
+    resolve_evaluator,
+)
 
-__all__ = ["DesignPoint", "PointFailure", "ParetoFront",
-           "grid_size", "grid_point", "iter_indexed_design_points",
-           "iter_design_space", "sweep_design_space", "pareto_frontier",
-           "sensitivity"]
+__all__ = [
+    "DesignPoint",
+    "PointFailure",
+    "ParetoFront",
+    "grid_size",
+    "grid_point",
+    "iter_indexed_design_points",
+    "iter_design_space",
+    "sweep_design_space",
+    "pareto_frontier",
+    "sensitivity",
+]
 
 
 @dataclass(frozen=True)
@@ -101,8 +129,7 @@ def _apply(config: HardwareConfig, accel_kwargs: dict, name, value):
     if name == "ae_compression":
         if value is None:
             return config, {**accel_kwargs, "use_ae": False}
-        return config, {**accel_kwargs, "use_ae": True,
-                        "ae_compression": float(value)}
+        return config, {**accel_kwargs, "use_ae": True, "ae_compression": float(value)}
     if name == "q_forwarding_hit_rate":
         return config, {**accel_kwargs, "q_forwarding_hit_rate": float(value)}
     raise KeyError(
@@ -130,8 +157,7 @@ class PointFailure:
 _PointFailure = PointFailure
 
 
-def _evaluate_design_point(workload, base_config, names, values,
-                           evaluator: Evaluator):
+def _evaluate_design_point(workload, base_config, names, values, evaluator: Evaluator):
     """Evaluate one grid point (module-level so process pools can pickle it).
 
     Unknown/misrouted grid parameters raise (a malformed *grid* is a caller
@@ -162,20 +188,89 @@ def _evaluate_design_point(workload, base_config, names, values,
     )
 
 
+def _scored_pair(workload, base_config, names, evaluator, index, row):
+    """One ``(grid_index, result)`` pair via :func:`_evaluate_design_point`."""
+    return index, _evaluate_design_point(workload, base_config, names, row, evaluator)
+
+
+def _batch_capable(evaluator) -> bool:
+    """Whether ``evaluator`` implements the ``evaluate_batch`` surface
+    (see :class:`repro.sim.evaluator.BatchEvaluator`)."""
+    return callable(getattr(evaluator, "evaluate_batch", None))
+
+
+def _chunk_points_from_batch(base_config, names, chunk, metrics):
+    """Zip one chunk's batch metrics into ``(grid_index, DesignPoint)``.
+
+    The area proxy mirrors the per-point path's ``config.total_macs``
+    (swept MAC lines times the base config's per-line width) without
+    cloning a config per point.
+    """
+    lines_at = names.index("mac_lines") if "mac_lines" in names else None
+    pairs = []
+    for (index, values), point_metrics in zip(chunk, metrics):
+        lines = (
+            int(values[lines_at])
+            if lines_at is not None
+            else base_config.num_mac_lines
+        )
+        point = DesignPoint(
+            parameters=tuple(zip(names, values)),
+            seconds=point_metrics.seconds,
+            energy_joules=point_metrics.energy_joules,
+            area_proxy=lines * base_config.macs_per_line,
+        )
+        pairs.append((index, point))
+    return pairs
+
+
 def _evaluate_chunk(workload, base_config, names, chunk, evaluator):
     """Evaluate a list of ``(grid_index, values)`` pairs in one task.
 
     ``workload=None`` means "use the workload the pool initializer seeded
     into this worker" (:func:`repro.perf.seed_worker_workload`) — chunk
     tasks then carry no workload payload at all.
+
+    A batch-capable evaluator (:func:`_batch_capable`) scores the whole
+    chunk in one ``evaluate_batch`` call — one numpy walk instead of
+    ``len(chunk)`` Python dispatches, bit-for-bit equal to the per-point
+    loop by the :class:`~repro.sim.evaluator.BatchEvaluator` contract.
+    Any exception from the batch call drops to the per-point loop below,
+    which re-raises structural errors (unknown parameters,
+    :class:`~repro.sim.evaluator.UnsupportedParameterError`) and captures
+    per-point evaluator failures as :class:`PointFailure` — so failure
+    attribution is identical with and without batching.
     """
     if workload is None:
         workload = seeded_workload()
+    if _batch_capable(evaluator):
+        try:
+            metrics = evaluator.evaluate_batch(
+                workload, base_config, names, [values for _, values in chunk]
+            )
+            if len(metrics) != len(chunk):
+                raise RuntimeError(
+                    f"evaluate_batch returned {len(metrics)} results "
+                    f"for {len(chunk)} points"
+                )
+        except Exception as exc:
+            # Fall back to the per-point loop below, which attributes the
+            # failure (or re-raises a structural error) — but say so: a
+            # systematically broken batch implementation would otherwise
+            # degrade every chunk silently, producing correct results at
+            # none of the batched speed.
+            warnings.warn(
+                f"evaluate_batch failed ({type(exc).__name__}: {exc}); "
+                f"scoring this {len(chunk)}-point chunk per point",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            metrics = None
+        if metrics is not None:
+            return _chunk_points_from_batch(base_config, names, chunk, metrics)
     return [
-        (index,
-         _evaluate_design_point(workload, base_config, names, values,
-                                evaluator))
-        for index, values in chunk
+        _scored_pair(workload, base_config, names, evaluator, index, row)
+        for index, row in chunk
     ]
 
 
@@ -214,16 +309,11 @@ class ParetoFront:
             strictly = (values < value).any(axis=1)
             if (less_eq & strictly).any():
                 return False
-            dominated = ((value <= values).all(axis=1)
-                         & (value < values).any(axis=1))
+            dominated = (value <= values).all(axis=1) & (value < values).any(axis=1)
             if dominated.any():
                 keep = ~dominated
-                self._points = [
-                    p for p, k in zip(self._points, keep) if k
-                ]
-                self._values = [
-                    v for v, k in zip(self._values, keep) if k
-                ]
+                self._points = [p for p, k in zip(self._points, keep) if k]
+                self._values = [v for v, k in zip(self._values, keep) if k]
         self._points.append(point)
         self._values.append(value)
         return True
@@ -318,6 +408,14 @@ def _chunked(iterable, size):
 #: per-task workload pickle, small enough to keep the stream responsive.
 _STREAM_CHUNK = 16
 
+#: Grid points scored per ``evaluate_batch`` call when the evaluator is
+#: batch-capable: big enough to amortise every numpy launch across the
+#: chunk (the per-point share of array-op overhead is negligible by a few
+#: hundred points), small enough to bound the (points × layers)
+#: temporaries and keep streams/stores responsive.  Also the cap on
+#: planned parallel chunk sizes for batch evaluators.
+_BATCH_CHUNK = 1024
+
 #: Eager sweeps below this much estimated total work run serially even
 #: when ``n_jobs > 1``: spawning a process pool costs a few hundred
 #: milliseconds, which used to buy cheap-point sweeps a ~0.7× "speedup"
@@ -355,34 +453,59 @@ def _resolve_n_jobs(n_jobs):
     return max(1, int(n_jobs))
 
 
-def _piloted_stream(workload, base_config, names, indexed, total, n_jobs,
-                    threshold, evaluator) -> Iterator[tuple]:
+def _piloted_stream(
+    workload, base_config, names, indexed, total, n_jobs, threshold, evaluator
+) -> Iterator[tuple]:
     """Adaptive :func:`_stream_evaluations` over a known-length stream.
 
-    Times the first :data:`_PILOT_POINTS` points in-process, then either
-    finishes serially (estimated remaining work below ``threshold`` — the
-    pool would cost more than it saves) or fans out with
-    :func:`_plan_parallel`-sized chunks.  Without a pilot (serial request,
-    tiny grid, ``threshold <= 0``) this is the historical
-    one-chunk-per-worker stream.  Yields ``(grid_index, point)`` pairs
-    with failures warn-dropped; parallel yields arrive out of order.
+    Times the first :data:`_PILOT_POINTS` points in-process — or, for a
+    batch-capable evaluator, the first :data:`_BATCH_CHUNK`-point batch,
+    so the measured per-point cost is the *batched* cost the rest of the
+    sweep would actually pay — then either finishes serially (estimated
+    remaining work below ``threshold``: the pool would cost more than it
+    saves, which for batched analytical grids is almost always the case)
+    or fans out with :func:`_plan_parallel`-sized chunks.  Without a
+    pilot (serial request, tiny grid, ``threshold <= 0``) this is the
+    historical one-chunk-per-worker stream.  Yields
+    ``(grid_index, point)`` pairs with failures warn-dropped; parallel
+    yields arrive out of order.
     """
     indexed = iter(indexed)
-    chunksize = -(-total // n_jobs) if total else 1
-    if n_jobs > 1 and threshold > 0 and total > _PILOT_POINTS:
+    chunksize = -(-total // n_jobs) if (total and n_jobs > 1) else None
+    if chunksize is not None and _batch_capable(evaluator):
+        # The one-chunk-per-worker fallback must not hand a worker an
+        # unbounded evaluate_batch call: (points × layers) temporaries
+        # are bounded by the batch chunk cap, pilot or no pilot.
+        chunksize = min(chunksize, _BATCH_CHUNK)
+    if n_jobs > 1 and threshold > 0 and _batch_capable(evaluator):
+        pilot_chunk = list(islice(indexed, _BATCH_CHUNK))
+        if pilot_chunk:
+            begin = perf_counter()
+            pilot = _evaluate_chunk(
+                workload, base_config, names, pilot_chunk, evaluator
+            )
+            per_point = (perf_counter() - begin) / len(pilot_chunk)
+            yield from _filter_failures(pilot)
+            n_jobs, chunksize = _plan_parallel(
+                per_point, total - len(pilot_chunk), n_jobs, threshold
+            )
+            chunksize = None if n_jobs == 1 else min(chunksize, _BATCH_CHUNK)
+    elif n_jobs > 1 and threshold > 0 and total > _PILOT_POINTS:
         begin = perf_counter()
         pilot = [
-            (index, _evaluate_design_point(workload, base_config, names,
-                                           values, evaluator))
-            for index, values in islice(indexed, _PILOT_POINTS)
+            _scored_pair(workload, base_config, names, evaluator, index, row)
+            for index, row in islice(indexed, _PILOT_POINTS)
         ]
         per_point = (perf_counter() - begin) / _PILOT_POINTS
         yield from _filter_failures(pilot)
         n_jobs, chunksize = _plan_parallel(
             per_point, total - _PILOT_POINTS, n_jobs, threshold
         )
-    yield from _stream_evaluations(workload, base_config, names, indexed,
-                                   n_jobs, chunksize, evaluator)
+        if n_jobs == 1:
+            chunksize = None
+    yield from _stream_evaluations(
+        workload, base_config, names, indexed, n_jobs, chunksize, evaluator
+    )
 
 
 def _hybrid_survivors(pairs, objectives=("seconds", "energy_joules")):
@@ -421,17 +544,29 @@ def _filter_failures(pairs):
         yield index, point
 
 
-def _stream_evaluations(workload, base_config, names, indexed, n_jobs,
-                        chunksize, evaluator,
-                        keep_failures=False) -> Iterator[tuple]:
+def _stream_evaluations(
+    workload,
+    base_config,
+    names,
+    indexed,
+    n_jobs,
+    chunksize,
+    evaluator,
+    keep_failures=False,
+) -> Iterator[tuple]:
     """Evaluate ``(grid_index, values)`` pairs, yielding completed points.
 
     The engine under both the lazy and the eager sweep: serial runs
     evaluate in the order given; parallel runs keep at most ``2 * n_jobs``
     chunks in flight and yield chunks as they complete (out of order —
     that IS the streaming contract; sort by index to recover input order).
-    The workload is shipped once per worker via the pool initializer, so
-    chunk tasks stay tiny and workers reuse one memoized workload object.
+    Either way, a batch-capable evaluator scores each chunk as ONE
+    ``evaluate_batch`` array op (:data:`_BATCH_CHUNK` points per chunk by
+    default; ``chunksize`` overrides) instead of a per-point Python loop
+    — bit-for-bit the same points, order and failures (see
+    :func:`_evaluate_chunk`).  The workload is shipped once per worker
+    via the pool initializer, so chunk tasks stay tiny and workers reuse
+    one memoized workload object.
     Only pool *creation* may fall back to threads (sandboxes without
     process/semaphore support); failures outside the evaluator — including
     BrokenProcessPool — propagate.  ``keep_failures=True`` yields
@@ -440,39 +575,50 @@ def _stream_evaluations(workload, base_config, names, indexed, n_jobs,
     """
     sieve = (lambda pairs: pairs) if keep_failures else _filter_failures
     if n_jobs == 1:
+        if _batch_capable(evaluator):
+            # Serial batched streaming: score bounded chunks as single
+            # array ops.  Laziness weakens from per-point to per-chunk —
+            # an early-stopping consumer evaluates at most one chunk
+            # beyond what it takes.
+            for chunk in _chunked(indexed, chunksize or _BATCH_CHUNK):
+                yield from sieve(
+                    _evaluate_chunk(workload, base_config, names, chunk, evaluator)
+                )
+            return
         pairs = (
-            (index,
-             _evaluate_design_point(workload, base_config, names, values,
-                                    evaluator))
-            for index, values in indexed
+            _scored_pair(workload, base_config, names, evaluator, index, row)
+            for index, row in indexed
         )
         yield from sieve(pairs)
         return
-    chunks = _chunked(indexed, chunksize or _STREAM_CHUNK)
+    default_chunk = _BATCH_CHUNK if _batch_capable(evaluator) else _STREAM_CHUNK
+    chunks = _chunked(indexed, chunksize or default_chunk)
     try:
-        pool = ProcessPoolExecutor(max_workers=n_jobs,
-                                   initializer=seed_worker_workload,
-                                   initargs=(workload,))
+        pool = ProcessPoolExecutor(
+            max_workers=n_jobs,
+            initializer=seed_worker_workload,
+            initargs=(workload,),
+        )
         task_workload = None  # workers read the seeded copy instead
     except OSError:
         pool = ThreadPoolExecutor(max_workers=n_jobs)
         task_workload = workload
+
+    def submit(chunk):
+        return pool.submit(
+            _evaluate_chunk, task_workload, base_config, names, chunk, evaluator
+        )
+
     try:
         pending = set()
         for chunk in islice(chunks, 2 * n_jobs):
-            pending.add(
-                pool.submit(_evaluate_chunk, task_workload, base_config,
-                            names, chunk, evaluator)
-            )
+            pending.add(submit(chunk))
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 chunk = next(chunks, None)
                 if chunk is not None:
-                    pending.add(
-                        pool.submit(_evaluate_chunk, task_workload,
-                                    base_config, names, chunk, evaluator)
-                    )
+                    pending.add(submit(chunk))
                 yield from sieve(future.result())
         pool.shutdown(wait=True)
     finally:
@@ -482,8 +628,9 @@ def _stream_evaluations(workload, base_config, names, indexed, n_jobs,
         pool.shutdown(wait=False, cancel_futures=True)
 
 
-def _iter_indexed_points(workload, grid, base_config, n_jobs,
-                         chunksize=None, evaluator=None) -> Iterator[tuple]:
+def _iter_indexed_points(
+    workload, grid, base_config, n_jobs, chunksize=None, evaluator=None
+) -> Iterator[tuple]:
     """Yield ``(grid_index, DesignPoint)`` pairs over the grid, lazily.
 
     Serial runs walk the cross-product in grid order without materialising
@@ -494,18 +641,26 @@ def _iter_indexed_points(workload, grid, base_config, n_jobs,
         evaluator = resolve_evaluator(None)
     names, combos = _resolve_grid(grid)
     yield from _stream_evaluations(
-        workload, base_config, names, enumerate(combos),
-        _resolve_n_jobs(n_jobs), chunksize, evaluator,
+        workload,
+        base_config,
+        names,
+        enumerate(combos),
+        _resolve_n_jobs(n_jobs),
+        chunksize,
+        evaluator,
     )
 
 
-def iter_indexed_design_points(workload: ModelWorkload,
-                               grid: Dict[str, Sequence],
-                               indices: Iterable[int] = None,
-                               base_config: HardwareConfig = None,
-                               n_jobs: int = 1, chunksize: int = None,
-                               evaluator=None,
-                               keep_failures=False) -> Iterator[tuple]:
+def iter_indexed_design_points(
+    workload: ModelWorkload,
+    grid: Dict[str, Sequence],
+    indices: Iterable[int] = None,
+    base_config: HardwareConfig = None,
+    n_jobs: int = 1,
+    chunksize: int = None,
+    evaluator=None,
+    keep_failures=False,
+) -> Iterator[tuple]:
     """Shard-aware streaming: evaluate a subset of grid indices.
 
     Yields ``(grid_index, DesignPoint)`` pairs for exactly the given
@@ -538,21 +693,29 @@ def iter_indexed_design_points(workload: ModelWorkload,
     if indices is None:
         indexed = enumerate(product(*(grid[n] for n in names)))
     else:
-        indexed = (
-            (int(i), _decode_grid_index(grid, names, int(i)))
-            for i in indices
-        )
+        indexed = ((int(i), _decode_grid_index(grid, names, int(i))) for i in indices)
     yield from _stream_evaluations(
-        workload, base_config, names, indexed, _resolve_n_jobs(n_jobs),
-        chunksize, evaluator, keep_failures=keep_failures,
+        workload,
+        base_config,
+        names,
+        indexed,
+        _resolve_n_jobs(n_jobs),
+        chunksize,
+        evaluator,
+        keep_failures=keep_failures,
     )
 
 
-def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
-                      base_config: HardwareConfig = None, n_jobs: int = 1,
-                      frontier: ParetoFront = None, evaluator=None,
-                      chunksize: int = None,
-                      min_parallel_s: float = None) -> Iterator[DesignPoint]:
+def iter_design_space(
+    workload: ModelWorkload,
+    grid: Dict[str, Sequence],
+    base_config: HardwareConfig = None,
+    n_jobs: int = 1,
+    frontier: ParetoFront = None,
+    evaluator=None,
+    chunksize: int = None,
+    min_parallel_s: float = None,
+) -> Iterator[DesignPoint]:
     """Stream the grid cross-product: yield each :class:`DesignPoint` as it
     completes, never materialising the full grid.
 
@@ -591,21 +754,36 @@ def iter_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
     """
     evaluator = resolve_evaluator(evaluator)
     if isinstance(evaluator, HybridEvaluator):
-        yield from _iter_hybrid(workload, grid, base_config, n_jobs,
-                                frontier, evaluator, chunksize,
-                                min_parallel_s=min_parallel_s)
+        yield from _iter_hybrid(
+            workload,
+            grid,
+            base_config,
+            n_jobs,
+            frontier,
+            evaluator,
+            chunksize,
+            min_parallel_s=min_parallel_s,
+        )
         return
-    stream = _iter_indexed_points(workload, grid, base_config, n_jobs,
-                                  chunksize, evaluator)
+    stream = _iter_indexed_points(
+        workload, grid, base_config, n_jobs, chunksize, evaluator
+    )
     for _, point in stream:
         if frontier is not None and not frontier.offer(point):
             continue
         yield point
 
 
-def _iter_hybrid(workload, grid, base_config, n_jobs, frontier,
-                 evaluator: HybridEvaluator, chunksize,
-                 min_parallel_s=None) -> Iterator[DesignPoint]:
+def _iter_hybrid(
+    workload,
+    grid,
+    base_config,
+    n_jobs,
+    frontier,
+    evaluator: HybridEvaluator,
+    chunksize,
+    min_parallel_s=None,
+) -> Iterator[DesignPoint]:
     """Two-phase sweep: coarse-prune the grid, fine-score the survivors.
 
     Phase 1 streams every grid point through ``evaluator.coarse`` into an
@@ -622,26 +800,32 @@ def _iter_hybrid(workload, grid, base_config, n_jobs, frontier,
     names = sorted(grid)
     base_config = base_config or VITCOD_DEFAULT
     n_jobs = _resolve_n_jobs(n_jobs)
-    threshold = (_AUTO_SERIAL_SECONDS if min_parallel_s is None
-                 else float(min_parallel_s))
+    threshold = (
+        _AUTO_SERIAL_SECONDS if min_parallel_s is None else float(min_parallel_s)
+    )
 
-    coarse_objectives = frontier.objectives if frontier is not None else \
-        ("seconds", "energy_joules")
+    coarse_objectives = (
+        frontier.objectives if frontier is not None else ("seconds", "energy_joules")
+    )
     combos = enumerate(product(*(grid[n] for n in names)))
     if chunksize is not None:
         # An explicit chunk size is a caller override (expensive coarse
         # points): keep the historical fixed-chunk stream.
         coarse_stream = _stream_evaluations(
-            workload, base_config, names, combos, n_jobs, chunksize,
-            evaluator.coarse,
+            workload, base_config, names, combos, n_jobs, chunksize, evaluator.coarse
         )
     else:
         coarse_stream = _piloted_stream(
-            workload, base_config, names, combos, grid_size(grid),
-            n_jobs, threshold, evaluator.coarse,
+            workload,
+            base_config,
+            names,
+            combos,
+            grid_size(grid),
+            n_jobs,
+            threshold,
+            evaluator.coarse,
         )
-    survivors = _hybrid_survivors(coarse_stream,
-                                  objectives=coarse_objectives)
+    survivors = _hybrid_survivors(coarse_stream, objectives=coarse_objectives)
     indexed = (
         (index, tuple(dict(point.parameters)[name] for name in names))
         for index, point in survivors
@@ -649,8 +833,13 @@ def _iter_hybrid(workload, grid, base_config, n_jobs, frontier,
     # Survivor counts are small and each point is expensive: one point per
     # task maximises fan-out.
     rescored = _stream_evaluations(
-        workload, base_config, names, indexed,
-        min(n_jobs, max(len(survivors), 1)), 1, evaluator.fine,
+        workload,
+        base_config,
+        names,
+        indexed,
+        min(n_jobs, max(len(survivors), 1)),
+        1,
+        evaluator.fine,
     )
     for index, point in sorted(rescored, key=lambda pair: pair[0]):
         if frontier is not None and not frontier.offer(point):
@@ -658,10 +847,15 @@ def _iter_hybrid(workload, grid, base_config, n_jobs, frontier,
         yield point
 
 
-def sweep_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
-                       base_config: HardwareConfig = None,
-                       n_jobs: int = 1, evaluator=None,
-                       min_parallel_s: float = None) -> List[DesignPoint]:
+def sweep_design_space(
+    workload: ModelWorkload,
+    grid: Dict[str, Sequence],
+    base_config: HardwareConfig = None,
+    n_jobs: int = 1,
+    evaluator=None,
+    min_parallel_s: float = None,
+    chunksize: int = None,
+) -> List[DesignPoint]:
     """Evaluate the cross product of ``grid`` on ``workload``, eagerly.
 
     A drained, re-ordered :func:`iter_design_space`: ``n_jobs`` fans grid
@@ -685,6 +879,12 @@ def sweep_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
     (benchmarks measuring raw fan-out do this).  Either way the returned
     points are identical to the serial sweep's.
 
+    An explicit ``chunksize`` is a caller override of both the pilot and
+    the chunk planning (the same convention the hybrid coarse phase
+    uses): points are streamed in fixed chunks of that many, which for a
+    batch-capable evaluator is also the batch granularity (CLI:
+    ``--batch-size``).
+
     Example
     -------
     >>> grid = {"mac_lines": [32, 64, 128], "ae_compression": [None, 0.5]}
@@ -697,19 +897,41 @@ def sweep_design_space(workload: ModelWorkload, grid: Dict[str, Sequence],
     evaluator = resolve_evaluator(evaluator)
     if isinstance(evaluator, HybridEvaluator):
         # The hybrid stream already arrives in deterministic grid order.
-        return list(iter_design_space(workload, grid, base_config,
-                                      n_jobs=n_jobs, evaluator=evaluator,
-                                      min_parallel_s=min_parallel_s))
+        hybrid_stream = iter_design_space(
+            workload,
+            grid,
+            base_config,
+            n_jobs=n_jobs,
+            evaluator=evaluator,
+            chunksize=chunksize,
+            min_parallel_s=min_parallel_s,
+        )
+        return list(hybrid_stream)
     names, combos = _resolve_grid(grid)
     combos = list(combos)
     base_config = base_config or VITCOD_DEFAULT
     n_jobs = min(_resolve_n_jobs(n_jobs), len(combos))
-    threshold = (_AUTO_SERIAL_SECONDS if min_parallel_s is None
-                 else float(min_parallel_s))
+    threshold = (
+        _AUTO_SERIAL_SECONDS if min_parallel_s is None else float(min_parallel_s)
+    )
+    indexed = enumerate(combos)
+    if chunksize is not None:
+        stream = _stream_evaluations(
+            workload, base_config, names, indexed, n_jobs, chunksize, evaluator
+        )
+    else:
+        stream = _piloted_stream(
+            workload,
+            base_config,
+            names,
+            indexed,
+            len(combos),
+            n_jobs,
+            threshold,
+            evaluator,
+        )
     points: List[DesignPoint] = [None] * len(combos)
-    for index, point in _piloted_stream(workload, base_config, names,
-                                        enumerate(combos), len(combos),
-                                        n_jobs, threshold, evaluator):
+    for index, point in stream:
         points[index] = point
     return [point for point in points if point is not None]
 
@@ -749,8 +971,9 @@ def _pareto_mask_pairwise(values: np.ndarray) -> np.ndarray:
     return ~dominated
 
 
-def pareto_frontier(points: Sequence[DesignPoint],
-                    objectives=("seconds", "energy_joules")) -> List[DesignPoint]:
+def pareto_frontier(
+    points: Sequence[DesignPoint], objectives=("seconds", "energy_joules")
+) -> List[DesignPoint]:
     """Non-dominated subset under the given minimise-objectives.
 
     The two-objective case (the common one) runs in O(n log n) via a sort
@@ -770,13 +993,34 @@ def pareto_frontier(points: Sequence[DesignPoint],
     return [p for p, k in zip(points, keep) if k]
 
 
-def sensitivity(workload: ModelWorkload, parameter, values,
-                base_config: HardwareConfig = None,
-                n_jobs: int = 1, evaluator=None) -> List[dict]:
-    """One-dimensional sensitivity: latency/energy vs one parameter."""
-    points = sweep_design_space(workload, {parameter: list(values)},
-                                base_config=base_config, n_jobs=n_jobs,
-                                evaluator=evaluator)
+def sensitivity(
+    workload: ModelWorkload,
+    parameter,
+    values,
+    base_config: HardwareConfig = None,
+    n_jobs: int = 1,
+    evaluator=None,
+    min_parallel_s: float = None,
+) -> List[dict]:
+    """One-dimensional sensitivity: latency/energy vs one parameter.
+
+    A thin view over :func:`sweep_design_space` on the one-parameter grid
+    ``{parameter: values}``, so it shares everything the sweep engine
+    provides — workload memoization, the adaptive pool pilot, and whole-
+    chunk batch scoring for batch-capable evaluators (the analytical
+    default scores the entire value list as one numpy batch instead of
+    one evaluator call per value).  Rows arrive in the order ``values``
+    were given; values whose evaluator raised are warn-dropped like any
+    sweep point.
+    """
+    points = sweep_design_space(
+        workload,
+        {parameter: list(values)},
+        base_config=base_config,
+        n_jobs=n_jobs,
+        evaluator=evaluator,
+        min_parallel_s=min_parallel_s,
+    )
     return [
         {
             parameter: p.parameter(parameter),

@@ -186,8 +186,9 @@ def fig4_breakdown(models=ALL_MODELS):
 # ----------------------------------------------------------------------
 # Fig. 8 — polarization of attention maps
 # ----------------------------------------------------------------------
-def fig8_polarization(num_tokens=197, num_heads=12, num_layers=12,
-                      sparsity=0.9, theta_d=0.25, seed=0):
+def fig8_polarization(
+    num_tokens=197, num_heads=12, num_layers=12, sparsity=0.9, theta_d=0.25, seed=0
+):
     """Metrics of the prune-only / reorder-only / prune+reorder maps."""
     per_layer = []
     for layer in range(num_layers):
@@ -216,8 +217,7 @@ def fig8_polarization(num_tokens=197, num_heads=12, num_layers=12,
 # ----------------------------------------------------------------------
 # Fig. 15 / Fig. 19(a) — speedups over the five baselines
 # ----------------------------------------------------------------------
-def fig15_speedups(sparsity=0.9, models=DEFAULT_MODELS, end_to_end=False,
-                   seed=0):
+def fig15_speedups(sparsity=0.9, models=DEFAULT_MODELS, end_to_end=False, seed=0):
     """Normalized speedups of ViTCoD over CPU/EdgeGPU/GPU/SpAtten/Sanger."""
     vitcod = ViTCoDAccelerator()
     per_model = {}
@@ -275,8 +275,9 @@ def fig17_accuracy_latency(models=DEFAULT_MODELS, sparsity=0.9, seed=0):
 # ----------------------------------------------------------------------
 # Fig. 19 — latency breakdown and energy efficiency
 # ----------------------------------------------------------------------
-def fig19_breakdown_energy(models=DEFAULT_MODELS, sparsities=(0.6, 0.7, 0.8, 0.9),
-                           seed=0):
+def fig19_breakdown_energy(
+    models=DEFAULT_MODELS, sparsities=(0.6, 0.7, 0.8, 0.9), seed=0
+):
     """Breakdown (comp/preprocess/data movement) and energy comparison."""
     designs = {
         "vitcod": ViTCoDAccelerator(),
@@ -295,9 +296,7 @@ def fig19_breakdown_energy(models=DEFAULT_MODELS, sparsities=(0.6, 0.7, 0.8, 0.9
                 latency[name].append(report.seconds)
                 energy[name].append(report.energy_joules)
                 if sparsity == max(sparsities):
-                    breakdown.setdefault(name, []).append(
-                        report.latency.fractions()
-                    )
+                    breakdown.setdefault(name, []).append(report.latency.fractions())
     mean_breakdown = {
         name: {
             key: float(np.mean([b[key] for b in blist]))
@@ -323,8 +322,9 @@ def fig19_breakdown_energy(models=DEFAULT_MODELS, sparsities=(0.6, 0.7, 0.8, 0.9
 # ----------------------------------------------------------------------
 # Fig. 4-style layer-resolved view from the event-driven simulator
 # ----------------------------------------------------------------------
-def cycle_per_layer_breakdown(model="deit-base", sparsity=0.9, seed=0,
-                              engine="vectorized"):
+def cycle_per_layer_breakdown(
+    model="deit-base", sparsity=0.9, seed=0, engine="vectorized"
+):
     """Per-layer makespans and utilizations from ONE batched whole-model
     cycle-simulation (``CycleSimResult.per_layer``), Fig. 4-breakdown style.
 
@@ -343,8 +343,9 @@ def cycle_per_layer_breakdown(model="deit-base", sparsity=0.9, seed=0,
             "denser_utilization": r.denser_utilization,
             "sparser_utilization": r.sparser_utilization,
             "dram_utilization": r.dram_utilization,
-            "makespan_fraction": (r.makespan / total.makespan
-                                  if total.makespan else 0.0),
+            "makespan_fraction": (
+                r.makespan / total.makespan if total.makespan else 0.0
+            ),
         }
         for i, r in enumerate(total.per_layer)
     ]
@@ -410,8 +411,9 @@ def table1_taxonomy():
 # ----------------------------------------------------------------------
 # §VI-C — pruning vs reordering ablation
 # ----------------------------------------------------------------------
-def ablation_prune_reorder(model="deit-base", sparsities=(0.6, 0.7, 0.8, 0.9),
-                           seed=0):
+def ablation_prune_reorder(
+    model="deit-base", sparsities=(0.6, 0.7, 0.8, 0.9), seed=0
+):
     """Speedup contributed by pruning and by reordering (paper §VI-C).
 
     * pruning benefit: (reorder-only, i.e. dense) / (prune+reorder);
@@ -425,8 +427,9 @@ def ablation_prune_reorder(model="deit-base", sparsities=(0.6, 0.7, 0.8, 0.9),
     dense_t = acc.simulate_attention(dense_wl).seconds
     for sparsity in sparsities:
         full_wl = model_workload(cfg, sparsity=sparsity, seed=seed)
-        prune_only_wl = model_workload(cfg, sparsity=sparsity, seed=seed,
-                                       reordered=False)
+        prune_only_wl = model_workload(
+            cfg, sparsity=sparsity, seed=seed, reordered=False
+        )
         full_t = acc.simulate_attention(full_wl).seconds
         prune_only_t = single.simulate_attention(prune_only_wl).seconds
         rows.append(
@@ -461,13 +464,11 @@ def nlp_attention_model_workload(sparsity=0.9, theta_d=0.25, seed=0):
         maps = synthetic_nlp_attention(
             stage.num_tokens, num_heads=stage.num_heads, seed=seed + i
         )
-        result = split_and_conquer(maps, target_sparsity=sparsity,
-                                   theta_d=theta_d)
-        layers.append(
-            attention_workload_from_masks(result, stage.head_dim)
-        )
-    return ModelWorkload(name="bert-base-nlp", attention_layers=layers,
-                         linear_layers=())
+        result = split_and_conquer(maps, target_sparsity=sparsity, theta_d=theta_d)
+        layers.append(attention_workload_from_masks(result, stage.head_dim))
+    return ModelWorkload(
+        name="bert-base-nlp", attention_layers=layers, linear_layers=()
+    )
 
 
 def nlp_comparison(sparsities=(0.6, 0.9), seed=0):

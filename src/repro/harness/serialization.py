@@ -80,12 +80,18 @@ def reports_to_csv(reports) -> str:
     """Render reports as CSV (one row each, flat columns)."""
     buffer = io.StringIO()
     writer = csv.writer(buffer)
-    writer.writerow([
-        "platform", "workload", "seconds", "energy_joules",
-        "compute_cycles", "preprocess_cycles", "data_movement_cycles",
-    ])
+    header = [
+        "platform",
+        "workload",
+        "seconds",
+        "energy_joules",
+        "compute_cycles",
+        "preprocess_cycles",
+        "data_movement_cycles",
+    ]
+    writer.writerow(header)
     for report in reports:
-        writer.writerow([
+        row = [
             report.platform,
             report.workload,
             f"{report.seconds:.9g}",
@@ -93,7 +99,8 @@ def reports_to_csv(reports) -> str:
             f"{report.latency.compute:.6g}",
             f"{report.latency.preprocess:.6g}",
             f"{report.latency.data_movement:.6g}",
-        ])
+        ]
+        writer.writerow(row)
     return buffer.getvalue()
 
 

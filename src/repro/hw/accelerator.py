@@ -66,6 +66,22 @@ def _ordered_sum(values, init=0.0):
     return total
 
 
+def _fold_rows(values, points):
+    """Per-point left-to-right fold over the trailing (layer) axis.
+
+    The (points,)-shaped counterpart of :func:`_ordered_sum`: row ``p`` of
+    the result is exactly ``_ordered_sum(values[p])`` (the same sequence
+    of IEEE additions, performed as array ops), so grid-batched totals
+    match the scalar-config fold bit for bit.  ``values`` may be a plain
+    (layers,) array — config-independent components broadcast to every
+    point.
+    """
+    total = np.zeros(points)
+    for j in range(values.shape[-1]):
+        total = total + values[..., j]
+    return total
+
+
 @dataclass
 class ViTCoDAccelerator(ModelSimulatorBase):
     """Configurable ViTCoD design point.
@@ -375,20 +391,144 @@ class ViTCoDAccelerator(ModelSimulatorBase):
     # ------------------------------------------------------------------
     # Batched array geometry
     # ------------------------------------------------------------------
+    #: Design-point knobs :meth:`simulate_attention_grid` accepts as
+    #: per-point columns; anything else comes from this accelerator.
+    _GRID_COLUMNS = ("num_mac_lines", "dram_bandwidth_bytes_per_s",
+                     "act_buffer_bytes", "use_ae", "ae_compression",
+                     "q_forwarding_hit_rate")
+
+    def _resolve_grid_columns(self, columns):
+        """Normalise per-point column arrays for the grid walk.
+
+        ``columns`` maps a subset of :data:`_GRID_COLUMNS` to length-``P``
+        arrays (already converted the way the design point would be built:
+        ints for MAC lines and buffer bytes, bytes/s for bandwidth);
+        missing knobs broadcast this accelerator's own value.  An empty
+        dict is the degenerate ``P = 1`` walk of this design point itself.
+        Values are validated like ``__post_init__`` — a grid holding one
+        invalid point raises for the whole batch (the DSE engine then
+        falls back to per-point scoring, which attributes the failure).
+        """
+        unknown = set(columns) - set(self._GRID_COLUMNS)
+        if unknown:
+            raise ValueError(
+                f"unknown design-point column(s) {sorted(unknown)}; "
+                f"choose from {list(self._GRID_COLUMNS)}"
+            )
+        lengths = {len(np.atleast_1d(v)) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"design-point columns disagree on length: {sorted(lengths)}"
+            )
+        points = lengths.pop() if lengths else 1
+        cfg = self.config
+
+        def column(name, default, dtype):
+            if name in columns:
+                return np.asarray(columns[name], dtype=dtype)
+            return np.full(points, default, dtype=dtype)
+
+        lines = column("num_mac_lines", cfg.num_mac_lines, np.int64)
+        bandwidth = column("dram_bandwidth_bytes_per_s",
+                           cfg.dram_bandwidth_bytes_per_s, np.float64)
+        act_buffer = column("act_buffer_bytes", cfg.act_buffer_bytes,
+                            np.int64)
+        use_ae = column("use_ae", self.use_ae, bool)
+        ae = column("ae_compression", self.ae_compression, np.float64)
+        fwd = column("q_forwarding_hit_rate", self.q_forwarding_hit_rate,
+                     np.float64)
+        if not ((0.0 < ae) & (ae <= 1.0)).all():
+            raise ValueError("ae_compression must be in (0, 1]")
+        if not ((0.0 <= fwd) & (fwd < 1.0)).all():
+            raise ValueError("q_forwarding_hit_rate must be in [0, 1)")
+        # Column vectors broadcast against the (layers,) workload arrays;
+        # every derived value mirrors the scalar config path op for op
+        # (``bytes_per_cycle`` is the same division, ``ratio``/``fwd``
+        # the same conditional selection).
+        return {
+            "points": points,
+            "lines": lines[:, None],
+            "bpc": bandwidth[:, None] / cfg.frequency_hz,
+            "act_buffer": act_buffer[:, None],
+            "use_ae": use_ae[:, None],
+            "ratio": np.where(use_ae, ae, 1.0)[:, None],
+            "fwd": (fwd if self.two_pronged else
+                    np.zeros(points))[:, None],
+        }
+
+    def simulate_attention_grid(self, model, columns):
+        """Score ``P`` design points on ``model`` as one (P × layers) walk.
+
+        The batched array-geometry path of :meth:`simulate_attention`
+        broadcast over a leading *design-point* axis: swept hardware knobs
+        arrive as per-point columns (see :meth:`_resolve_grid_columns`)
+        instead of per-point :class:`~repro.hw.params.HardwareConfig`
+        clones, and the whole grid chunk is evaluated by the same
+        elementwise phase algebra.  Returns ``(seconds, energy_joules)``
+        float64 arrays of length ``P`` whose elements are **bit-for-bit**
+        the ``report.seconds`` / ``report.energy_joules`` of ``P``
+        separate :meth:`simulate_attention` calls at those design points
+        (same IEEE ops on the same values, same left-to-right per-layer
+        fold) — the guarantee the batched DSE engine is built on.
+        """
+        layers = model.attention_layers
+        if not layers:
+            raise ValueError(
+                f"{self.name}: model {model.name!r} has no attention layers"
+            )
+        cols = self._resolve_grid_columns(columns)
+        folded = self._attention_phase_grid(layers, cols)
+        cycles = (folded["compute"] + folded["preprocess"]) \
+            + folded["data_movement"]
+        seconds = cycles / self.config.frequency_hz
+        energy_pj = (folded["mac"] + folded["sram"] + folded["dram"]
+                     + folded["other"] + folded["static"])
+        return seconds, energy_pj * 1e-12
+
     def _attention_phase_arrays(self, layers):
         """Every attention layer's phase algebra as elementwise arrays.
 
-        Each expression mirrors :meth:`simulate_attention_layer` operation
-        for operation (same IEEE ops on the same values), and the per-layer
-        arrays fold left-to-right like ``SimReport.merged`` — so the totals
-        are bit-for-bit those of the per-layer loop.
+        The ``P = 1`` case of :meth:`_attention_phase_grid` at this
+        accelerator's own design point.  Each expression mirrors
+        :meth:`simulate_attention_layer` operation for operation (same
+        IEEE ops on the same values), and the per-layer arrays fold
+        left-to-right like ``SimReport.merged`` — so the totals are
+        bit-for-bit those of the per-layer loop.
+        """
+        folded = self._attention_phase_grid(
+            layers, self._resolve_grid_columns({})
+        )
+        latency = LatencyBreakdown(
+            compute=float(folded["compute"][0]),
+            preprocess=float(folded["preprocess"][0]),
+            data_movement=float(folded["data_movement"][0]),
+        )
+        energy = EnergyBreakdown(
+            mac=float(folded["mac"][0]),
+            sram=float(folded["sram"][0]),
+            dram=float(folded["dram"][0]),
+            other=float(folded["other"][0]),
+            static=float(folded["static"][0]),
+        )
+        return latency, energy
+
+    def _attention_phase_grid(self, layers, cols):
+        """The (points × layers) attention walk behind both batched paths.
+
+        Workload statistics are (layers,) rows, design-point knobs are
+        (points, 1) columns, and every phase expression broadcasts to a
+        (points × layers) array whose elements are exactly the scalar
+        path's values; per-layer folds run left-to-right per point
+        (:func:`_fold_rows`).  Returns the folded latency categories and
+        energy components, each a (points,) array.
         """
         cfg = self.config
         b = cfg.bytes_per_element
-        bpc = cfg.bytes_per_cycle
+        bpc = cols["bpc"]
         mpl = cfg.macs_per_line
-        ratio = self.ae_compression if self.use_ae else 1.0
-        compute_lines = cfg.num_mac_lines
+        ratio = cols["ratio"]
+        compute_lines = cols["lines"]
+        points = cols["points"]
 
         n = np.array([l.num_tokens for l in layers], dtype=np.int64)
         H = np.array([l.num_heads for l in layers], dtype=np.int64)
@@ -413,10 +553,10 @@ class ViTCoDAccelerator(ModelSimulatorBase):
 
         # ---------------- SDDMM phase -----------------------------------
         tensor_bytes = n * d * b
-        k_window_bytes = cfg.act_buffer_bytes / 2
+        k_window_bytes = cols["act_buffer"] / 2
         k_tiles = np.maximum(1, np.ceil(tensor_bytes * ratio / k_window_bytes))
         stream_bytes = tensor_bytes * ratio * (1 + k_tiles)
-        fwd = self.q_forwarding_hit_rate if self.two_pronged else 0.0
+        fwd = cols["fwd"]
         scatter_raw = scattered * dk * b * ratio * (1.0 - fwd)
         scatter_bytes = np.where(
             fallback,
@@ -424,8 +564,9 @@ class ViTCoDAccelerator(ModelSimulatorBase):
             scatter_raw * self._scatter_amplification,
         )
         sddmm_dram = stream_bytes + scatter_bytes
-        decode_macs = (np.trunc(sddmm_dram / b) * H if self.use_ae
-                       else np.zeros(len(layers)))
+        decode_macs = np.where(
+            cols["use_ae"], np.trunc(sddmm_dram / b) * H, 0.0
+        )
         memory_cycles = sddmm_dram / bpc
 
         denser_macs = denser_products * dk
@@ -494,26 +635,23 @@ class ViTCoDAccelerator(ModelSimulatorBase):
 
         compute = sddmm_compute + spmm_compute + sm_extra
         data_movement = (phase - sddmm_compute) + (spmm_phase - spmm_compute)
-        latency = LatencyBreakdown(
-            compute=_ordered_sum(compute),
-            preprocess=_ordered_sum(preprocess),
-            data_movement=_ordered_sum(data_movement),
-        )
 
         mac_count = denser_macs + sparser_macs + decode_macs + spmm_macs
         dram_bytes = idx_bytes + sddmm_dram + spmm_dram
         cycles = (compute + preprocess) + data_movement
         e = cfg.energy
-        energy = EnergyBreakdown(
-            mac=_ordered_sum(mac_count * e.mac_pj),
-            sram=_ordered_sum(
-                (2 * dram_bytes + mac_count * b / 4) * e.sram_byte_pj
+        return {
+            "compute": _fold_rows(compute, points),
+            "preprocess": _fold_rows(preprocess, points),
+            "data_movement": _fold_rows(data_movement, points),
+            "mac": _fold_rows(mac_count * e.mac_pj, points),
+            "sram": _fold_rows(
+                (2 * dram_bytes + mac_count * b / 4) * e.sram_byte_pj, points
             ),
-            dram=_ordered_sum(dram_bytes * e.dram_byte_pj),
-            other=_ordered_sum(total_nnz * e.softmax_op_pj),
-            static=_ordered_sum(cycles * e.static_pj_per_cycle),
-        )
-        return latency, energy
+            "dram": _fold_rows(dram_bytes * e.dram_byte_pj, points),
+            "other": _fold_rows(total_nnz * e.softmax_op_pj, points),
+            "static": _fold_rows(cycles * e.static_pj_per_cycle, points),
+        }
 
     def _gemm_phase_arrays(self, gemms, base_latency, base_energy):
         """The dense-layer walk as arrays, folded onto the attention totals

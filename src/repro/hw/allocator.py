@@ -57,8 +57,15 @@ def allocate_mac_lines_batched(total_lines, denser_macs, sparser_macs,
     equals ``allocate_mac_lines(total_lines, denser_macs[i],
     sparser_macs[i])`` exactly (``np.round`` matches :func:`round`'s
     half-to-even on the proportional split).
+
+    ``total_lines`` may itself be an array, broadcasting against the
+    workload arrays — the grid-batched DSE path passes a ``(points, 1)``
+    design-point column against ``(layers,)`` workloads to allocate every
+    (point, layer) pair in one shot, each element still exactly equal to
+    the scalar allocator's answer.
     """
-    if total_lines < 2:
+    total_lines = np.asarray(total_lines, dtype=np.int64)
+    if (total_lines < 2).any():
         raise ValueError("need at least 2 MAC lines to allocate")
     denser_macs = np.asarray(denser_macs, dtype=np.int64)
     sparser_macs = np.asarray(sparser_macs, dtype=np.int64)
@@ -71,24 +78,31 @@ def allocate_mac_lines_batched(total_lines, denser_macs, sparser_macs,
     # Python's big-int arithmetic stays exact, so defer to the scalar
     # allocator for such (far beyond paper-scale) workloads.
     exact_limit = float(2 ** 53)
-    if denser_macs.size and (
-        float(denser_macs.max()) * total_lines >= exact_limit
+    if denser_macs.size and total_lines.size and (
+        float(denser_macs.max()) * float(total_lines.max()) >= exact_limit
         or float(denser_macs.max()) + float(sparser_macs.max()) >= exact_limit
     ):
+        b_total, b_denser, b_sparser = np.broadcast_arrays(
+            total_lines, denser_macs, sparser_macs
+        )
         pairs = [
-            allocate_mac_lines(total_lines, int(d), int(s), reserve_min)
-            for d, s in zip(denser_macs, sparser_macs)
+            allocate_mac_lines(int(t), int(d), int(s), reserve_min)
+            for t, d, s in zip(b_total.ravel(), b_denser.ravel(),
+                               b_sparser.ravel())
         ]
-        return (np.array([p.denser_lines for p in pairs], dtype=np.int64),
-                np.array([p.sparser_lines for p in pairs], dtype=np.int64))
+        shape = b_total.shape
+        return (np.array([p.denser_lines for p in pairs],
+                         dtype=np.int64).reshape(shape),
+                np.array([p.sparser_lines for p in pairs],
+                         dtype=np.int64).reshape(shape))
 
     total_macs = denser_macs + sparser_macs
     with np.errstate(invalid="ignore", divide="ignore"):
         share = np.round(total_lines * denser_macs / total_macs)
     share = np.clip(share, reserve_min, total_lines - reserve_min)
-    share = np.where(total_macs == 0, float(total_lines // 2), share)
+    share = np.where(total_macs == 0, total_lines // 2, share)
     share = np.where((sparser_macs == 0) & (total_macs > 0),
-                     float(total_lines), share)
+                     total_lines, share)
     share = np.where((denser_macs == 0) & (total_macs > 0), 0.0, share)
     denser_lines = share.astype(np.int64)
     return denser_lines, total_lines - denser_lines

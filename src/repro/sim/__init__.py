@@ -45,6 +45,8 @@ from .protocol import ModelSimulator, Simulator
 from .engine import AttentionSimulatorBase, ModelSimulatorBase, merge_results
 from .evaluator import (
     AnalyticalEvaluator,
+    BatchedAnalyticalEvaluator,
+    BatchEvaluator,
     CycleSimEvaluator,
     EvalMetrics,
     Evaluator,
@@ -62,9 +64,11 @@ __all__ = [
     "ModelSimulatorBase",
     "merge_results",
     "Evaluator",
+    "BatchEvaluator",
     "EvalMetrics",
     "UnsupportedParameterError",
     "AnalyticalEvaluator",
+    "BatchedAnalyticalEvaluator",
     "CycleSimEvaluator",
     "HybridEvaluator",
     "resolve_evaluator",

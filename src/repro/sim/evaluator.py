@@ -9,11 +9,30 @@ engine (:mod:`repro.harness.dse`) is written against this surface only, so
 any simulator — analytical, event-driven, or a future external one — can
 stream through :func:`~repro.harness.dse.iter_design_space` unchanged.
 
-Three built-ins cover the repo's simulators:
+Evaluators may additionally implement the :class:`BatchEvaluator`
+protocol: ``evaluate_batch(workload, base_config, names, value_rows)``
+scores a whole chunk of grid points in one call, returning one
+:class:`EvalMetrics` per row.  The DSE engine detects the capability and
+hands each bounded chunk to ``evaluate_batch`` instead of looping
+``__call__`` per point — with the contract that the batch results are
+**bit-for-bit** what the per-point calls would produce, so batching is an
+execution detail, never a semantics change.  A batch call that raises
+makes the engine fall back to per-point scoring of that chunk, which
+re-raises structural errors and attributes per-point failures exactly as
+an unbatched sweep would.
+
+Three built-in strategies cover the repo's simulators:
 
 * :class:`AnalyticalEvaluator` — the closed-form
   :class:`~repro.hw.accelerator.ViTCoDAccelerator` phase model (the
-  default; behaviour-identical to the pre-evaluator sweeps);
+  default; behaviour-identical to the pre-evaluator sweeps).  Its
+  :class:`BatchedAnalyticalEvaluator` subclass — what ``"analytical"``
+  resolves to — adds the batch axis by broadcasting the accelerator's
+  array-geometry walk over a leading design-point axis
+  (:meth:`~repro.hw.accelerator.ViTCoDAccelerator.simulate_attention_grid`):
+  swept knobs become numpy columns instead of per-point
+  :class:`~repro.hw.params.HardwareConfig` clones, bit-for-bit equal to
+  the per-point path;
 * :class:`CycleSimEvaluator` — the event-driven
   :class:`~repro.hw.cycle_sim.CycleAccurateSimulator`, the repo's ground
   truth: latency is the simulated makespan, energy is charged from the
@@ -38,13 +57,17 @@ same strategy the merge step assumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Protocol, runtime_checkable
+from typing import Any, List, Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 __all__ = [
     "EvalMetrics",
     "Evaluator",
+    "BatchEvaluator",
     "UnsupportedParameterError",
     "AnalyticalEvaluator",
+    "BatchedAnalyticalEvaluator",
     "CycleSimEvaluator",
     "HybridEvaluator",
     "resolve_evaluator",
@@ -98,6 +121,31 @@ class Evaluator(Protocol):
         ...
 
 
+@runtime_checkable
+class BatchEvaluator(Evaluator, Protocol):
+    """An :class:`Evaluator` that can score a whole grid chunk in one call.
+
+    ``names`` are the swept DSE parameter names (sorted, as the grid
+    walks them) and ``value_rows`` one value tuple per design point;
+    ``base_config`` is the unswept :class:`~repro.hw.params.HardwareConfig`
+    every point is derived from.  The returned list aligns with
+    ``value_rows`` and must be **bit-for-bit** what per-point ``__call__``
+    invocations would produce — the DSE engine treats batching purely as
+    an execution strategy.  Implementations signal any problem by
+    raising; the engine then re-scores the chunk per point, which
+    attributes per-point failures and re-raises structural errors.
+    """
+
+    def evaluate_batch(
+        self,
+        workload: Any,
+        base_config: Any,
+        names: Sequence[str],
+        value_rows: Sequence[tuple],
+    ) -> List[EvalMetrics]:
+        ...
+
+
 def _attention_layers(workload):
     """The attention layers of a ModelWorkload (or a bare layer sequence)."""
     return getattr(workload, "attention_layers", workload)
@@ -120,6 +168,77 @@ class AnalyticalEvaluator:
         accel = ViTCoDAccelerator(config=config, **accel_kwargs)
         report = accel.simulate_attention(workload)
         return EvalMetrics(seconds=report.seconds, energy_joules=report.energy_joules)
+
+
+class BatchedAnalyticalEvaluator(AnalyticalEvaluator):
+    """The analytical strategy with a whole-chunk batch axis (the default).
+
+    Scoring one point is inherited unchanged; ``evaluate_batch`` scores a
+    whole chunk of grid points as one
+    :meth:`~repro.hw.accelerator.ViTCoDAccelerator.simulate_attention_grid`
+    array walk — swept parameters become per-point numpy columns (routed
+    exactly as the per-point sweep routes them onto
+    :class:`~repro.hw.params.HardwareConfig` fields and accelerator
+    kwargs), and the results are **bit-for-bit** what per-point calls
+    produce.  Because the strategy is the same, ``evaluator_spec`` still
+    renders it as ``{"name": "analytical"}``: batched and per-point
+    shards of one :mod:`repro.dist` study share a manifest and produce
+    identical stores.
+
+    A chunk containing an invalid point — MAC lines below the allocator's
+    minimum, an out-of-range AE ratio — raises for the whole batch; the
+    DSE engine then falls back to per-point scoring of that chunk, which
+    captures exactly the per-point failures an unbatched sweep would.
+    """
+
+    def evaluate_batch(self, workload, base_config, names, value_rows):
+        from ..hw.accelerator import ViTCoDAccelerator
+
+        accel = ViTCoDAccelerator(config=base_config)
+        value_rows = list(value_rows)
+        columns = {}
+        for j, name in enumerate(names):
+            col = [row[j] for row in value_rows]
+            # Each branch applies the exact conversion the per-point
+            # parameter table applies before cloning a config
+            # (`repro.harness.dse._apply`), so column values are
+            # bit-identical to the per-point fields.
+            if name == "mac_lines":
+                columns["num_mac_lines"] = np.array(
+                    [int(v) for v in col], dtype=np.int64
+                )
+            elif name == "bandwidth_gbps":
+                columns["dram_bandwidth_bytes_per_s"] = np.array(
+                    [float(v) * 1e9 for v in col], dtype=np.float64
+                )
+            elif name == "act_buffer_kb":
+                columns["act_buffer_bytes"] = np.array(
+                    [int(v * 1024) for v in col], dtype=np.int64
+                )
+            elif name == "ae_compression":
+                # `None` means the AE datapath is off; the ratio column
+                # then keeps the accelerator's default so validation
+                # passes, exactly like the per-point kwargs route.
+                columns["use_ae"] = np.array([v is not None for v in col], dtype=bool)
+                columns["ae_compression"] = np.array(
+                    [accel.ae_compression if v is None else float(v) for v in col],
+                    dtype=np.float64,
+                )
+            elif name == "q_forwarding_hit_rate":
+                columns["q_forwarding_hit_rate"] = np.array(
+                    [float(v) for v in col], dtype=np.float64
+                )
+            else:
+                raise KeyError(
+                    f"unknown DSE parameter {name!r}; choose from "
+                    "mac_lines, bandwidth_gbps, act_buffer_kb, "
+                    "ae_compression, q_forwarding_hit_rate"
+                )
+        seconds, energy = accel.simulate_attention_grid(workload, columns)
+        return [
+            EvalMetrics(seconds=s, energy_joules=e)
+            for s, e in zip(seconds.tolist(), energy.tolist())
+        ]
 
 
 class CycleSimEvaluator:
@@ -204,7 +323,7 @@ class HybridEvaluator:
     name = "hybrid"
 
     def __init__(self, coarse: Evaluator = None, fine: Evaluator = None):
-        self.coarse = coarse if coarse is not None else AnalyticalEvaluator()
+        self.coarse = coarse if coarse is not None else BatchedAnalyticalEvaluator()
         self.fine = fine if fine is not None else CycleSimEvaluator()
 
     def __call__(self, workload, config, accel_kwargs):
@@ -212,7 +331,7 @@ class HybridEvaluator:
 
 
 _BUILTIN_EVALUATORS = {
-    "analytical": AnalyticalEvaluator,
+    "analytical": BatchedAnalyticalEvaluator,
     "cycle": CycleSimEvaluator,
     "hybrid": HybridEvaluator,
 }
@@ -223,10 +342,13 @@ def resolve_evaluator(spec) -> Evaluator:
 
     ``None`` means the analytical default; strings name a built-in
     (``"analytical"``, ``"cycle"``, ``"hybrid"``); anything callable is
-    returned as-is.
+    returned as-is.  ``"analytical"``/``None`` resolve to the
+    batch-capable :class:`BatchedAnalyticalEvaluator` (bit-identical to
+    :class:`AnalyticalEvaluator` point for point — pass an
+    ``AnalyticalEvaluator()`` instance to force per-point execution).
     """
     if spec is None:
-        return AnalyticalEvaluator()
+        return BatchedAnalyticalEvaluator()
     if isinstance(spec, str):
         try:
             return _BUILTIN_EVALUATORS[spec]()
@@ -256,7 +378,9 @@ def evaluator_spec(evaluator) -> dict:
     """
     evaluator = resolve_evaluator(evaluator)
     kind = type(evaluator)
-    if kind is AnalyticalEvaluator:
+    if kind is AnalyticalEvaluator or kind is BatchedAnalyticalEvaluator:
+        # One strategy, two execution modes: batched and per-point score
+        # bit-identically, so they share the manifest spec.
         return {"name": "analytical"}
     if kind is CycleSimEvaluator:
         return {"name": "cycle", "engine": evaluator.engine, "scan": evaluator.scan}
@@ -282,7 +406,7 @@ def evaluator_from_spec(spec) -> Evaluator:
         spec = {"name": spec}
     name = spec.get("name")
     if name == "analytical":
-        return AnalyticalEvaluator()
+        return BatchedAnalyticalEvaluator()
     if name == "cycle":
         return CycleSimEvaluator(
             engine=spec.get("engine", "vectorized"), scan=spec.get("scan", "split")

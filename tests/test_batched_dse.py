@@ -1,0 +1,413 @@
+"""Grid-batched analytical DSE: the batch axis must be invisible.
+
+The contract under test: scoring a grid chunk with
+``BatchedAnalyticalEvaluator.evaluate_batch`` (one numpy walk over a
+leading design-point axis) is **bit-for-bit** the per-point
+``AnalyticalEvaluator`` loop — points, ordering, Pareto frontier,
+failure attribution, durable shard records.  Property-tested over random
+grids of all five sweepable parameters; this is the CI-enforced
+guarantee that makes batching an execution detail rather than a model
+change.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness import dse as dse_module
+from repro.harness.dse import (
+    iter_indexed_design_points,
+    pareto_frontier,
+    sensitivity,
+    sweep_design_space,
+)
+from repro.hw import model_workload
+from repro.hw.params import VITCOD_DEFAULT
+from repro.models import get_config
+from repro.sim import (
+    AnalyticalEvaluator,
+    BatchedAnalyticalEvaluator,
+    BatchEvaluator,
+    evaluator_from_spec,
+    evaluator_spec,
+    resolve_evaluator,
+)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return model_workload(get_config("deit-tiny"), sparsity=0.9)
+
+
+# ----------------------------------------------------------------------
+# Random grids over every sweepable parameter
+# ----------------------------------------------------------------------
+def grid_strategy():
+    """Random DSE grids: any subset of the five parameters, small value
+    lists, including the knobs' edge values (AE off via ``None``, zero
+    forwarding, fractional buffer sizes)."""
+    mac_lines = st.lists(st.integers(2, 512), min_size=1, max_size=3,
+                         unique=True)
+    bandwidth = st.lists(
+        st.sampled_from([9.6, 19.2, 38.4, 76.8, 153.6, 307.2]),
+        min_size=1, max_size=2, unique=True,
+    )
+    act_buffer = st.lists(st.sampled_from([0.5, 32, 64, 128, 320, 512]),
+                          min_size=1, max_size=2, unique=True)
+    ae = st.lists(st.sampled_from([None, 0.25, 0.5, 0.75, 1.0]),
+                  min_size=1, max_size=3, unique=True)
+    fwd = st.lists(st.sampled_from([0.0, 0.3, 0.9]),
+                   min_size=1, max_size=2, unique=True)
+    options = {
+        "mac_lines": mac_lines,
+        "bandwidth_gbps": bandwidth,
+        "act_buffer_kb": act_buffer,
+        "ae_compression": ae,
+        "q_forwarding_hit_rate": fwd,
+    }
+    return st.sets(
+        st.sampled_from(sorted(options)), min_size=1, max_size=5
+    ).flatmap(lambda names: st.fixed_dictionaries(
+        {name: options[name] for name in names}
+    ))
+
+
+class TestBitExactness:
+    @given(grid=grid_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_batched_sweep_equals_per_point(self, small_workload, grid):
+        """Points, grid ordering and frontier are bit-identical."""
+        per_point = sweep_design_space(small_workload, grid,
+                                       evaluator=AnalyticalEvaluator())
+        batched = sweep_design_space(small_workload, grid)
+        assert batched == per_point  # DesignPoint eq: every field bit-equal
+        assert pareto_frontier(batched) == pareto_frontier(per_point)
+
+    @given(grid=grid_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_evaluate_batch_matches_call_loop(self, small_workload, grid):
+        """The raw batch surface, without the DSE engine in between."""
+        from itertools import product
+
+        names = sorted(grid)
+        rows = list(product(*(grid[n] for n in names)))
+        evaluator = BatchedAnalyticalEvaluator()
+        batch = evaluator.evaluate_batch(small_workload, VITCOD_DEFAULT,
+                                         names, rows)
+        assert len(batch) == len(rows)
+        for row, metrics in zip(rows, batch):
+            expected = dse_module._evaluate_design_point(
+                small_workload, VITCOD_DEFAULT, names, row,
+                AnalyticalEvaluator(),
+            )
+            assert metrics.seconds == expected.seconds
+            assert metrics.energy_joules == expected.energy_joules
+
+    def test_indexed_subset_matches_per_point(self, small_workload):
+        grid = {"mac_lines": [16, 32, 64], "ae_compression": [None, 0.5]}
+        per_point = dict(iter_indexed_design_points(
+            small_workload, grid, [5, 0, 3],
+            evaluator=AnalyticalEvaluator(),
+        ))
+        batched = dict(iter_indexed_design_points(small_workload, grid,
+                                                  [5, 0, 3]))
+        assert batched == per_point
+
+    def test_parallel_and_forced_pool_match_serial(self, small_workload):
+        grid = {"mac_lines": [16, 32, 64], "bandwidth_gbps": [19.2, 76.8]}
+        serial = sweep_design_space(small_workload, grid)
+        assert sweep_design_space(small_workload, grid, n_jobs=3) == serial
+        assert sweep_design_space(small_workload, grid, n_jobs=3,
+                                  min_parallel_s=0.0) == serial
+
+    def test_explicit_chunksize_matches(self, small_workload):
+        grid = {"mac_lines": [16, 32, 64, 128],
+                "ae_compression": [None, 0.5]}
+        serial = sweep_design_space(small_workload, grid)
+        assert sweep_design_space(small_workload, grid,
+                                  chunksize=3) == serial
+        assert sweep_design_space(small_workload, grid, n_jobs=2,
+                                  chunksize=3) == serial
+
+    def test_hybrid_coarse_phase_batches_identically(self, small_workload):
+        grid = {"mac_lines": [16, 32, 64], "ae_compression": [None, 0.5]}
+        from repro.sim import CycleSimEvaluator, HybridEvaluator
+
+        batched = sweep_design_space(small_workload, grid,
+                                     evaluator="hybrid")
+        per_point = sweep_design_space(
+            small_workload, grid,
+            evaluator=HybridEvaluator(coarse=AnalyticalEvaluator(),
+                                      fine=CycleSimEvaluator()),
+        )
+        assert batched == per_point
+
+
+class TestBatchEngine:
+    def test_analytical_default_is_batch_capable(self):
+        evaluator = resolve_evaluator(None)
+        assert isinstance(evaluator, BatchedAnalyticalEvaluator)
+        assert isinstance(evaluator, AnalyticalEvaluator)  # same strategy
+        assert isinstance(evaluator, BatchEvaluator)
+        assert dse_module._batch_capable(evaluator)
+        assert not dse_module._batch_capable(AnalyticalEvaluator())
+
+    def test_spec_round_trip_shared_with_per_point(self):
+        assert evaluator_spec(BatchedAnalyticalEvaluator()) == \
+            {"name": "analytical"}
+        assert evaluator_spec(AnalyticalEvaluator()) == \
+            {"name": "analytical"}
+        rebuilt = evaluator_from_spec({"name": "analytical"})
+        assert isinstance(rebuilt, BatchedAnalyticalEvaluator)
+
+    def test_serial_sweep_uses_batch_calls(self, small_workload,
+                                           monkeypatch):
+        """The engine really routes chunks through evaluate_batch."""
+        calls = []
+        real = BatchedAnalyticalEvaluator.evaluate_batch
+
+        def spying(self, workload, base_config, names, rows):
+            calls.append(len(list(rows)))
+            return real(self, workload, base_config, names, rows)
+
+        monkeypatch.setattr(BatchedAnalyticalEvaluator, "evaluate_batch",
+                            spying)
+        grid = {"mac_lines": [16, 32, 64], "ae_compression": [None, 0.5]}
+        points = sweep_design_space(small_workload, grid)
+        assert len(points) == 6
+        assert sum(calls) == 6  # every point scored through the batch axis
+
+    def test_sensitivity_shares_the_batch_path(self, small_workload,
+                                               monkeypatch):
+        calls = []
+        real = BatchedAnalyticalEvaluator.evaluate_batch
+
+        def spying(self, workload, base_config, names, rows):
+            rows = list(rows)
+            calls.append(len(rows))
+            return real(self, workload, base_config, names, rows)
+
+        monkeypatch.setattr(BatchedAnalyticalEvaluator, "evaluate_batch",
+                            spying)
+        rows = sensitivity(small_workload, "mac_lines", [16, 32, 64])
+        assert sum(calls) == 3  # one batch, not three evaluator calls
+        per_point = sensitivity(small_workload, "mac_lines", [16, 32, 64],
+                                evaluator=AnalyticalEvaluator())
+        assert rows == per_point
+
+    def test_invalid_point_falls_back_to_per_point_failures(
+            self, small_workload):
+        """A chunk holding an invalid point (1 MAC line breaks the
+        allocator) must fail per point, exactly like the unbatched sweep
+        — good points kept, bad point warn-dropped."""
+        grid = {"mac_lines": [1, 32, 64]}
+        with pytest.warns(RuntimeWarning, match="MAC lines"):
+            per_point = sweep_design_space(small_workload, grid,
+                                           evaluator=AnalyticalEvaluator())
+        with pytest.warns(RuntimeWarning, match="MAC lines"):
+            batched = sweep_design_space(small_workload, grid)
+        assert batched == per_point
+        assert [p.parameter("mac_lines") for p in batched] == [32, 64]
+
+    def test_invalid_ae_falls_back_per_point(self, small_workload):
+        grid = {"ae_compression": [1.5, 0.5]}
+        with pytest.warns(RuntimeWarning, match="ae_compression"):
+            batched = sweep_design_space(small_workload, grid)
+        with pytest.warns(RuntimeWarning, match="ae_compression"):
+            per_point = sweep_design_space(small_workload, grid,
+                                           evaluator=AnalyticalEvaluator())
+        assert batched == per_point
+        assert [p.parameter("ae_compression") for p in batched] == [0.5]
+
+    def test_unknown_parameter_still_raises(self, small_workload):
+        with pytest.raises(KeyError):
+            sweep_design_space(small_workload, {"voltage": [0.9]})
+
+    def test_batch_size_mismatch_falls_back(self, small_workload):
+        """A batch implementation returning the wrong number of results
+        is treated as a failed batch (loudly), not silently mis-zipped."""
+
+        class Truncating(BatchedAnalyticalEvaluator):
+            def evaluate_batch(self, workload, base_config, names, rows):
+                return super().evaluate_batch(
+                    workload, base_config, names, list(rows)[:-1]
+                )
+
+        grid = {"mac_lines": [16, 32, 64]}
+        with pytest.warns(RuntimeWarning, match="evaluate_batch failed"):
+            points = sweep_design_space(small_workload, grid,
+                                        evaluator=Truncating())
+        assert points == sweep_design_space(small_workload, grid)
+
+    def test_fallback_is_announced(self, small_workload):
+        """A broken batch path must not silently degrade to per-point
+        scoring — results would stay bit-identical, hiding the lost
+        speedup."""
+
+        class Broken(BatchedAnalyticalEvaluator):
+            def evaluate_batch(self, workload, base_config, names, rows):
+                raise RuntimeError("batch kernel exploded")
+
+        with pytest.warns(RuntimeWarning, match="batch kernel exploded"):
+            points = sweep_design_space(small_workload,
+                                        {"mac_lines": [16, 32]},
+                                        evaluator=Broken())
+        assert points == sweep_design_space(small_workload,
+                                            {"mac_lines": [16, 32]})
+
+    def test_forced_pool_chunk_plan_stays_bounded(self, small_workload,
+                                                  monkeypatch):
+        """min_parallel_s=0 (pilot bypassed) must not plan one unbounded
+        evaluate_batch call per worker on a big grid."""
+        serial = sweep_design_space(
+            small_workload, {"mac_lines": list(range(8, 200, 4))}
+        )
+        captured = {}
+        real = dse_module._stream_evaluations
+
+        def spying(workload, base_config, names, indexed, n_jobs,
+                   chunksize, evaluator, keep_failures=False):
+            captured["chunksize"] = chunksize
+            # Run serially: the planned chunk size is what is under test.
+            return real(workload, base_config, names, indexed, 1,
+                        chunksize, evaluator, keep_failures=keep_failures)
+
+        monkeypatch.setattr(dse_module, "_stream_evaluations", spying)
+        monkeypatch.setattr(dse_module, "_BATCH_CHUNK", 8)
+        forced = sweep_design_space(
+            small_workload, {"mac_lines": list(range(8, 200, 4))},
+            n_jobs=2, min_parallel_s=0.0,
+        )
+        assert forced == serial
+        # 48 points / 2 workers would be 24-point chunks; the batch cap
+        # (patched to 8) must bound the plan.
+        assert captured["chunksize"] == 8
+
+    def test_cli_batch_size_validated(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="batch-size"):
+            main(["dse", "--models", "deit-tiny",
+                  "--grid", "mac_lines=16,32", "--batch-size", "-1"])
+        with pytest.raises(SystemExit, match="batch-size"):
+            main(["dse", "--models", "deit-tiny",
+                  "--grid", "mac_lines=16,32", "--batch-size", "0"])
+
+
+class TestSimulateAttentionGrid:
+    def test_unknown_column_rejected(self, small_workload):
+        from repro.hw.accelerator import ViTCoDAccelerator
+
+        with pytest.raises(ValueError, match="unknown design-point"):
+            ViTCoDAccelerator().simulate_attention_grid(
+                small_workload, {"voltage": np.array([0.9])}
+            )
+
+    def test_mismatched_column_lengths_rejected(self, small_workload):
+        from repro.hw.accelerator import ViTCoDAccelerator
+
+        with pytest.raises(ValueError, match="disagree on length"):
+            ViTCoDAccelerator().simulate_attention_grid(
+                small_workload,
+                {"num_mac_lines": np.array([16, 32]),
+                 "ae_compression": np.array([0.5])},
+            )
+
+    def test_empty_columns_is_own_design_point(self, small_workload):
+        from repro.hw.accelerator import ViTCoDAccelerator
+
+        accel = ViTCoDAccelerator()
+        seconds, energy = accel.simulate_attention_grid(small_workload, {})
+        report = accel.simulate_attention(small_workload)
+        assert seconds.shape == (1,) and energy.shape == (1,)
+        assert seconds[0] == report.seconds
+        assert energy[0] == report.energy_joules
+
+    def test_ablation_flags_respected(self, small_workload):
+        """The grid walk inherits non-swept accelerator flags (dataflow,
+        two_pronged) from the instance, like per-point construction
+        would."""
+        from repro.hw.accelerator import ViTCoDAccelerator
+
+        for kwargs in ({"two_pronged": False},
+                       {"dataflow": "s_stationary"},
+                       {"use_ae": False}):
+            accel = ViTCoDAccelerator(**kwargs)
+            cols = {"num_mac_lines": np.array([32, 64], dtype=np.int64)}
+            seconds, energy = accel.simulate_attention_grid(small_workload,
+                                                            cols)
+            for i, lines in enumerate((32, 64)):
+                from dataclasses import replace
+
+                ref = ViTCoDAccelerator(
+                    config=replace(VITCOD_DEFAULT, num_mac_lines=lines),
+                    **kwargs,
+                ).simulate_attention(small_workload)
+                assert seconds[i] == ref.seconds
+                assert energy[i] == ref.energy_joules
+
+
+class TestGridAllocator:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_array_total_lines_matches_scalar(self, data):
+        from repro.hw import allocate_mac_lines, allocate_mac_lines_batched
+
+        lines = data.draw(st.lists(st.integers(2, 512), min_size=1,
+                                   max_size=4))
+        denser = data.draw(st.lists(st.integers(0, 10**9), min_size=1,
+                                    max_size=4))
+        sparser = data.draw(st.lists(
+            st.integers(0, 10**9), min_size=len(denser),
+            max_size=len(denser)))
+        lines_col = np.array(lines, dtype=np.int64)[:, None]
+        d_grid, s_grid = allocate_mac_lines_batched(
+            lines_col, np.array(denser), np.array(sparser)
+        )
+        assert d_grid.shape == (len(lines), len(denser))
+        for i, total in enumerate(lines):
+            for j, (d, s) in enumerate(zip(denser, sparser)):
+                ref = allocate_mac_lines(total, d, s)
+                assert (d_grid[i, j], s_grid[i, j]) == \
+                    (ref.denser_lines, ref.sparser_lines)
+
+    def test_array_total_lines_below_two_rejected(self):
+        from repro.hw import allocate_mac_lines_batched
+
+        with pytest.raises(ValueError, match="at least 2 MAC lines"):
+            allocate_mac_lines_batched(np.array([4, 1]), [10], [10])
+
+    def test_huge_workload_fallback_with_array_lines(self):
+        from repro.hw import allocate_mac_lines, allocate_mac_lines_batched
+
+        lines = np.array([64, 127], dtype=np.int64)[:, None]
+        denser = np.array([10**17, 2**53 + 1])
+        sparser = np.array([1, 2**53 - 1])
+        d_grid, s_grid = allocate_mac_lines_batched(lines, denser, sparser)
+        for i, total in enumerate((64, 127)):
+            for j in range(2):
+                ref = allocate_mac_lines(total, int(denser[j]),
+                                         int(sparser[j]))
+                assert (d_grid[i, j], s_grid[i, j]) == \
+                    (ref.denser_lines, ref.sparser_lines)
+
+
+class TestParetoMaskAgreement:
+    """Satellite: the O(n log n) 2-D mask vs the pairwise reference on
+    duplicated and tied objective values."""
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_sorted_mask_equals_pairwise_with_ties(self, data):
+        n = data.draw(st.integers(1, 40))
+        # Tiny value alphabet forces duplicate points and per-axis ties.
+        values = np.array(
+            data.draw(st.lists(
+                st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                min_size=n, max_size=n,
+            )),
+            dtype=np.float64,
+        )
+        sorted_mask = dse_module._pareto_mask_sorted_2d(values)
+        pairwise_mask = dse_module._pareto_mask_pairwise(values)
+        assert (sorted_mask == pairwise_mask).all()

@@ -275,6 +275,97 @@ class TestStatus:
         per_shard = {str(s.shard): (s.done, s.total) for s in status.shards}
         assert per_shard == {"1/3": (0, 2), "2/3": (2, 2), "3/3": (0, 2)}
         assert status.done == 2 and status.failed == 0
+        assert status.fraction_done == pytest.approx(2 / 6)
+
+    def test_records_carry_timestamps(self, tmp_path, workload):
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/1", store, workload_spec=SPEC)
+        shard_file = ResultStore(store).shard_path(ShardSpec(1, 1))
+        records = load_jsonl(shard_file)
+        assert len(records) == 6
+        assert all(isinstance(r.get("t"), float) for r in records)
+        stamps = [r["t"] for r in records]
+        assert stamps == sorted(stamps)  # appended in completion order
+
+    def _seed_store(self, tmp_path, workload, shard, timestamps,
+                    num_shards=2):
+        """A store whose shard holds records with the given timestamps."""
+        from repro.dist.store import JsonlAppender
+        from repro.harness.dse import iter_indexed_design_points
+
+        store = ResultStore(tmp_path / "store")
+        store.ensure_manifest(build_manifest(
+            GRID, num_shards, AnalyticalEvaluator(), VITCOD_DEFAULT, SPEC
+        ))
+        spec = ShardSpec.parse(shard)
+        owned = list(spec.indices(6))
+        pairs = list(iter_indexed_design_points(
+            workload, GRID, owned[:len(timestamps)]
+        ))
+        with JsonlAppender(store.shard_path(spec)) as out:
+            for (index, point), stamp in zip(pairs, timestamps):
+                out.append(encode_record(index, point, timestamp=stamp))
+        return store.root
+
+    def test_shard_eta_from_timestamps(self, tmp_path, workload):
+        """2 records 10 s apart -> 0.1 points/s -> 1 pending = 10 s."""
+        store = self._seed_store(tmp_path, workload, "1/2",
+                                 [100.0, 110.0])
+        status = store_status(store)
+        by_shard = {str(s.shard): s for s in status.shards}
+        assert by_shard["1/2"].eta_seconds == pytest.approx(10.0)
+        # The other shard has no records at all: rate unknown.
+        assert by_shard["2/2"].eta_seconds is None
+        # Study-level ETA is unknown while any shard's rate is.
+        assert status.eta_seconds is None
+
+    def test_complete_shard_eta_zero(self, tmp_path, workload):
+        store = self._seed_store(tmp_path, workload, "1/1",
+                                 [10.0, 11.0, 12.0, 13.0, 14.0, 15.0],
+                                 num_shards=1)
+        status = store_status(store)
+        assert status.complete
+        assert status.shards[0].eta_seconds == 0.0
+        assert status.eta_seconds == 0.0
+
+    def test_single_record_eta_unknown(self, tmp_path, workload):
+        store = self._seed_store(tmp_path, workload, "1/2", [42.0])
+        status = store_status(store)
+        by_shard = {str(s.shard): s for s in status.shards}
+        assert by_shard["1/2"].eta_seconds is None
+
+    def test_untimestamped_legacy_records_tolerated(self, tmp_path,
+                                                    workload):
+        """Stores written before records carried ``t`` still report."""
+        from repro.dist.store import JsonlAppender
+        from repro.harness.dse import iter_indexed_design_points
+
+        store = ResultStore(tmp_path / "store")
+        store.ensure_manifest(build_manifest(
+            GRID, 1, AnalyticalEvaluator(), VITCOD_DEFAULT, SPEC
+        ))
+        pairs = list(iter_indexed_design_points(workload, GRID, [0, 1]))
+        with JsonlAppender(store.shard_path(ShardSpec(1, 1))) as out:
+            for index, point in pairs:
+                record = encode_record(index, point)
+                del record["t"]
+                out.append(record)
+        status = store_status(store.root)
+        assert status.done == 2
+        assert status.shards[0].eta_seconds is None
+
+    def test_status_cli_prints_percent_and_eta(self, tmp_path, workload,
+                                               capsys):
+        from repro.cli import main
+
+        store = self._seed_store(tmp_path, workload, "1/2", [100.0, 110.0])
+        assert main(["dse-status", str(store)]) == 0
+        captured = capsys.readouterr().out
+        assert "done%" in captured and "eta" in captured
+        assert "67%" in captured  # shard 1/2 holds 2 of its 3 points
+        assert "10s" in captured  # shard 1/2's pending point at 0.1 pt/s
+        assert "2/6 grid points done (33%)" in captured
+        assert "ETA ?" in captured  # shard 2/2's rate is unknown
 
 
 class TestWorkloadSpec:

@@ -178,7 +178,11 @@ class TestStreaming:
             sorted(eager, key=_params_key)
 
     def test_lazy_never_materialises_grid(self, small_workload, monkeypatch):
-        """Taking 5 points from an 864-point grid evaluates exactly 5."""
+        """Taking 5 points from an 864-point grid evaluates exactly 5
+        with a per-point evaluator, and at most one batch chunk with the
+        batch-capable default — never the whole grid."""
+        from repro.sim import AnalyticalEvaluator
+
         calls = []
         real = dse_module._evaluate_design_point
 
@@ -190,9 +194,22 @@ class TestStreaming:
         grid = {"mac_lines": list(range(8, 520, 6)),
                 "bandwidth_gbps": [19.2, 76.8],
                 "ae_compression": [None, 0.25, 0.3, 0.5, 0.75]}
-        taken = list(islice(iter_design_space(small_workload, grid), 5))
+        taken = list(islice(iter_design_space(
+            small_workload, grid, evaluator=AnalyticalEvaluator()), 5))
         assert len(taken) == 5
         assert len(calls) == 5
+
+        batched = []
+        real_chunk = dse_module._evaluate_chunk
+
+        def counting_chunk(workload, base_config, names, chunk, evaluator):
+            batched.append(len(chunk))
+            return real_chunk(workload, base_config, names, chunk, evaluator)
+
+        monkeypatch.setattr(dse_module, "_evaluate_chunk", counting_chunk)
+        taken = list(islice(iter_design_space(small_workload, grid), 5))
+        assert len(taken) == 5
+        assert sum(batched) <= dse_module._BATCH_CHUNK  # one chunk, not 864
 
     def test_incremental_frontier_matches_eager(self, small_workload):
         eager = sweep_design_space(small_workload, self.GRID)
