@@ -12,7 +12,7 @@ from repro.harness.dse import pareto_frontier, sweep_design_space
 from repro.hw import model_workload
 from repro.models import get_config
 from repro.perf import KeyedCache, benchit, cached_model_workload
-from repro.sim import AnalyticalEvaluator, CycleSimEvaluator
+from repro.sim import AnalyticalEvaluator, CycleSimEvaluator, HybridEvaluator
 
 
 def test_workload_build_cache(bench_recorder, bench_mode):
@@ -143,6 +143,92 @@ def test_batched_analytical_dse(bench_recorder, bench_mode):
     )
     if full and (len(batched_points) >= 1000 or (os.cpu_count() or 1) >= 4):
         assert speedup >= 10.0, f"batched sweep only {speedup:.1f}x"
+
+
+def test_batched_cycle_dse(bench_recorder, bench_mode):
+    """Grid-batched cycle-accurate DSE vs the per-point event-driven loop.
+
+    The tentpole measurement: ``"cycle"`` now resolves to
+    `BatchedCycleSimEvaluator`, which runs a whole chunk of design points
+    as one (points × layers × jobs) width-banded max-plus walk; the
+    per-point reference (`CycleSimEvaluator`) replays the event-driven
+    simulator once per grid point.  Bit-exactness — points, grid order,
+    frontier — is asserted before any timing.  The hybrid sweeps ride
+    along: the analytical prune plus batched fine re-score, and the
+    adaptive variant that skips fine-scoring survivors the observed
+    fine/coarse error band already proves dominated (its fine frontier
+    must equal the full re-score's; the survivor reduction is recorded).
+    The ≥5× assertion arms in full mode on a ≥1k-point grid or a ≥4-CPU
+    box; the honest ratio is recorded either way.
+    """
+    full = bench_mode == "full"
+    model = "deit-base" if full else "deit-tiny"
+    if full:
+        # 9 × 6 × 5 × 4 = 1080 points: paper-scale, so the per-point
+        # loop's interpreter dispatch and config cloning dominate.
+        grid = {"mac_lines": [8, 16, 24, 32, 64, 128, 256, 384, 512],
+                "bandwidth_gbps": [19.2, 38.4, 76.8, 153.6, 307.2, 614.4],
+                "act_buffer_kb": [32, 64, 128, 256, 512],
+                "ae_compression": [None, 0.25, 0.5, 0.75]}
+    else:
+        grid = {"mac_lines": [32, 64], "ae_compression": [None, 0.5]}
+    wl = cached_model_workload(model, sparsity=0.9)
+
+    per_point_points = sweep_design_space(wl, grid,
+                                          evaluator=CycleSimEvaluator())
+    batched_points = sweep_design_space(wl, grid, evaluator="cycle")
+    # Bit-exactness before timing: batching must be invisible.
+    assert batched_points == per_point_points
+    assert pareto_frontier(batched_points) == \
+        pareto_frontier(per_point_points)
+    hybrid_points = sweep_design_space(wl, grid, evaluator="hybrid")
+    adaptive_points = sweep_design_space(wl, grid,
+                                         evaluator=HybridEvaluator(
+                                             adaptive=True))
+    # Adaptive pruning may skip dominated survivors but must keep the
+    # fine frontier intact.
+    assert pareto_frontier(adaptive_points) == pareto_frontier(hybrid_points)
+    assert {p.parameters for p in adaptive_points} <= \
+        {p.parameters for p in hybrid_points}
+
+    repeats = 3 if full else 1
+    per_point = benchit(
+        lambda: sweep_design_space(wl, grid,
+                                   evaluator=CycleSimEvaluator()),
+        name="per_point_serial", repeats=repeats, warmup=1)
+    batched = benchit(
+        lambda: sweep_design_space(wl, grid, evaluator="cycle"),
+        name="batched_serial", repeats=repeats, warmup=1)
+    hybrid = benchit(
+        lambda: sweep_design_space(wl, grid, evaluator="hybrid"),
+        name="hybrid_serial", repeats=repeats, warmup=1)
+    adaptive = benchit(
+        lambda: sweep_design_space(wl, grid,
+                                   evaluator=HybridEvaluator(adaptive=True)),
+        name="hybrid_adaptive", repeats=repeats, warmup=1)
+
+    speedup = per_point.best / batched.best
+    survivors = len(hybrid_points)
+    bench_recorder.record(
+        "batched_cycle_dse",
+        model=model,
+        grid_points=len(batched_points),
+        cpu_count=os.cpu_count(),
+        survivors=survivors,
+        survivors_adaptive=len(adaptive_points),
+        adaptive_survivor_reduction=(
+            1.0 - len(adaptive_points) / survivors if survivors else 0.0
+        ),
+        per_point_serial=per_point.to_dict(),
+        batched_serial=batched.to_dict(),
+        hybrid_serial=hybrid.to_dict(),
+        hybrid_adaptive=adaptive.to_dict(),
+        speedup_batched=speedup,
+        speedup_hybrid_vs_batched_cycle=batched.best / hybrid.best,
+        speedup_adaptive_vs_hybrid=hybrid.best / adaptive.best,
+    )
+    if full and (len(batched_points) >= 1000 or (os.cpu_count() or 1) >= 4):
+        assert speedup >= 5.0, f"batched cycle sweep only {speedup:.1f}x"
 
 
 def test_cycle_sim_dse(bench_recorder, bench_mode):

@@ -142,21 +142,29 @@ def build_parser():
 def _cli_evaluator(name, no_batch):
     """The evaluator the dse/dse-shard commands should use.
 
-    ``--no-batch`` swaps the batch-capable analytical default for the
-    per-point reference implementation (bit-identical results, one
-    evaluator call per grid point) — including a hybrid sweep's coarse
-    phase.  Manifests are unaffected: both execution modes serialise to
-    the same ``{"name": ...}`` spec, so batched and per-point shards can
-    share one store.
+    ``--no-batch`` swaps the batch-capable built-ins for their per-point
+    reference implementations (bit-identical results, one evaluator call
+    per grid point) — analytical, cycle, and both phases of a hybrid
+    sweep.  Manifests are unaffected: batched and per-point variants
+    serialise to the same ``{"name": ...}`` spec, so batched and
+    per-point shards can share one store.
     """
     if not no_batch:
         return name
-    from .sim.evaluator import AnalyticalEvaluator, HybridEvaluator
+    from .sim.evaluator import (
+        AnalyticalEvaluator,
+        CycleSimEvaluator,
+        HybridEvaluator,
+    )
 
     if name == "analytical":
         return AnalyticalEvaluator()
+    if name == "cycle":
+        return CycleSimEvaluator()
     if name == "hybrid":
-        return HybridEvaluator(coarse=AnalyticalEvaluator())
+        return HybridEvaluator(
+            coarse=AnalyticalEvaluator(), fine=CycleSimEvaluator()
+        )
     return name
 
 

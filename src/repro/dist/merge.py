@@ -30,6 +30,7 @@ from typing import Tuple
 from ..harness.dse import (
     DesignPoint,
     PointFailure,
+    _batch_capable,
     _hybrid_survivors,
     iter_indexed_design_points,
     pareto_frontier,
@@ -182,6 +183,14 @@ def _fine_rescore(store, manifest, pairs, workload, evaluator, n_jobs):
             "merging a hybrid store needs a HybridEvaluator "
             f"(got {type(evaluator)!r})"
         )
+    if getattr(evaluator, "adaptive", False):
+        raise ValueError(
+            "adaptive hybrid evaluators cannot drive a sharded merge: "
+            "band pruning depends on in-memory scoring order, while the "
+            "fine store must hold every coarse-frontier survivor so "
+            "resumed merges reproduce the non-adaptive sweep exactly; "
+            "merge with adaptive=False"
+        )
     workload_spec = manifest.get("workload") or {}
     if workload is None:
         workload = workload_from_spec(workload_spec)
@@ -201,12 +210,19 @@ def _fine_rescore(store, manifest, pairs, workload, evaluator, n_jobs):
     if todo:
         if n_jobs is None:
             n_jobs = os.cpu_count() or 1
-        with JsonlAppender(store.fine_path) as out:
+        if _batch_capable(evaluator.fine):
+            # A batch-capable fine evaluator (the default batched cycle
+            # simulator) scores the survivor set as a few in-process
+            # array walks, as the in-memory hybrid sweep does.
+            fine_jobs, fine_chunk = 1, None
+        else:
             # One survivor per task, as the in-memory hybrid sweep does:
             # survivor counts are small and each point is expensive.
+            fine_jobs, fine_chunk = min(max(1, int(n_jobs)), len(todo)), 1
+        with JsonlAppender(store.fine_path) as out:
             for index, result in iter_indexed_design_points(
                     workload, grid, todo, base_config=base_config,
-                    n_jobs=min(max(1, int(n_jobs)), len(todo)), chunksize=1,
+                    n_jobs=fine_jobs, chunksize=fine_chunk,
                     evaluator=evaluator.fine, keep_failures=True):
                 out.append(encode_record(index, result))
         done = store.load_records(store.fine_path)

@@ -5,8 +5,9 @@
 skip every index the store already holds a completion record for, stream
 the rest through the shared DSE engine (any pluggable evaluator, optional
 in-host ``n_jobs`` fan-out), and append one record per point as it
-completes.  Batch-capable evaluators — the analytical default — score the
-shard's strided index set in bounded whole-chunk numpy batches
+completes.  Batch-capable evaluators — the analytical default and the
+batched cycle simulator ``"cycle"`` resolves to — score the shard's
+strided index set in bounded whole-chunk numpy batches
 (:mod:`repro.harness.dse`), still emitting one durable completion record
 per point.  Killing the process at any moment loses at most the chunk in
 flight (one point, for per-point evaluators); re-running the same command

@@ -66,7 +66,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from itertools import islice, product
 from math import ceil
 from time import perf_counter
@@ -81,6 +81,7 @@ from ..sim.evaluator import (
     Evaluator,
     HybridEvaluator,
     UnsupportedParameterError,
+    apply_dse_parameter,
     resolve_evaluator,
 )
 
@@ -116,26 +117,11 @@ class DesignPoint:
         return self.seconds * self.energy_joules
 
 
-def _apply(config: HardwareConfig, accel_kwargs: dict, name, value):
-    """Route one swept parameter to the config or the accelerator."""
-    if name == "mac_lines":
-        return replace(config, num_mac_lines=int(value)), accel_kwargs
-    if name == "bandwidth_gbps":
-        return replace(
-            config, dram_bandwidth_bytes_per_s=float(value) * 1e9
-        ), accel_kwargs
-    if name == "act_buffer_kb":
-        return replace(config, act_buffer_bytes=int(value * 1024)), accel_kwargs
-    if name == "ae_compression":
-        if value is None:
-            return config, {**accel_kwargs, "use_ae": False}
-        return config, {**accel_kwargs, "use_ae": True, "ae_compression": float(value)}
-    if name == "q_forwarding_hit_rate":
-        return config, {**accel_kwargs, "q_forwarding_hit_rate": float(value)}
-    raise KeyError(
-        f"unknown DSE parameter {name!r}; choose from mac_lines, "
-        "bandwidth_gbps, act_buffer_kb, ae_compression, q_forwarding_hit_rate"
-    )
+#: Route one swept parameter to the config or the accelerator — since the
+#: batched evaluators grew their own column routes, the single source of
+#: truth is the DSE parameter table in :mod:`repro.sim.evaluator`, which
+#: declares both execution forms of every knob side by side.
+_apply = apply_dse_parameter
 
 
 @dataclass(frozen=True)
@@ -195,8 +181,13 @@ def _scored_pair(workload, base_config, names, evaluator, index, row):
 
 def _batch_capable(evaluator) -> bool:
     """Whether ``evaluator`` implements the ``evaluate_batch`` surface
-    (see :class:`repro.sim.evaluator.BatchEvaluator`)."""
-    return callable(getattr(evaluator, "evaluate_batch", None))
+    (see :class:`repro.sim.evaluator.BatchEvaluator`).  An evaluator may
+    additionally expose a ``batch_capable`` attribute to turn its batch
+    surface off dynamically (the batched cycle evaluator does, for its
+    scalar reference engine)."""
+    return callable(getattr(evaluator, "evaluate_batch", None)) and getattr(
+        evaluator, "batch_capable", True
+    )
 
 
 def _chunk_points_from_batch(base_config, names, chunk, metrics):
@@ -253,6 +244,11 @@ def _evaluate_chunk(workload, base_config, names, chunk, evaluator):
                     f"evaluate_batch returned {len(metrics)} results "
                     f"for {len(chunk)} points"
                 )
+        except UnsupportedParameterError:
+            # Structural by definition: the batch raise IS the raise every
+            # per-point call would produce — propagate it clean instead of
+            # warning about a fallback that could only re-raise it.
+            raise
         except Exception as exc:
             # Fall back to the per-point loop below, which attributes the
             # failure (or re-raises a structural error) — but say so: a
@@ -317,6 +313,61 @@ class ParetoFront:
         self._points.append(point)
         self._values.append(value)
         return True
+
+    def offer_all(self, points: Sequence) -> List:
+        """Offer a whole chunk at once; returns the points kept.
+
+        Bit-for-bit the sequential :meth:`offer` loop: the returned list
+        holds exactly the points a sequential loop would have kept (in
+        arrival order, including points a *later* arrival evicts — kept
+        means non-dominated at offer time), and the frontier afterwards
+        is identical.  The dominance tests run as whole-chunk numpy
+        broadcasts instead of one :meth:`offer` vstack per point, which
+        is what lets streaming sweeps prune chunk-sized batches at array
+        speed.
+
+        Equivalence argument: a sequential offer rejects point ``j`` iff
+        some frontier member dominates it on arrival; every point offered
+        earlier (kept or rejected, chunk or pre-chunk) is dominated by a
+        frontier member unless it is one, and dominance is transitive —
+        so ``j`` is rejected iff *some earlier-offered point* dominates
+        it, which is the broadcast below.  The survivors' frontier is
+        then the non-dominated subset of (old frontier + kept), in
+        first-seen order, with equal points never dominating each other —
+        exactly :func:`pareto_frontier`'s convention.
+        """
+        points = list(points)
+        if not points:
+            return []
+        self.offered += len(points)
+        new = np.array(
+            [[getattr(p, obj) for obj in self.objectives] for p in points],
+            dtype=np.float64,
+        )
+        if self._values:
+            old = np.vstack(self._values)
+            less_eq = (old[:, None, :] <= new[None, :, :]).all(axis=2)
+            strictly = (old[:, None, :] < new[None, :, :]).any(axis=2)
+            rejected = (less_eq & strictly).any(axis=0)
+        else:
+            rejected = np.zeros(len(points), dtype=bool)
+        less_eq = (new[:, None, :] <= new[None, :, :]).all(axis=2)
+        strictly = (new[:, None, :] < new[None, :, :]).any(axis=2)
+        earlier = np.triu(np.ones((len(points), len(points)), dtype=bool), 1)
+        rejected |= (less_eq & strictly & earlier).any(axis=0)
+        kept = [p for p, r in zip(points, rejected.tolist()) if not r]
+        if kept:
+            merged = self._points + kept
+            values = np.vstack(
+                self._values + [v for v, r in zip(new, rejected.tolist()) if not r]
+            )
+            if values.shape[1] == 2:
+                keep_mask = _pareto_mask_sorted_2d(values)
+            else:
+                keep_mask = _pareto_mask_pairwise(values)
+            self._points = [p for p, k in zip(merged, keep_mask) if k]
+            self._values = [v for v, k in zip(values, keep_mask) if k]
+        return kept
 
     def update(self, points: Iterable) -> "ParetoFront":
         """Offer every point of an iterable (draining it); returns self."""
@@ -429,6 +480,12 @@ _TARGET_CHUNK_SECONDS = 0.05
 #: Grid points timed serially before committing a sweep to a pool.
 _PILOT_POINTS = 2
 
+#: Survivors scored per adaptive-hybrid fine step: small enough that the
+#: observed fine/coarse band updates often (later chunks can skip more),
+#: large enough that a batch-capable fine evaluator still amortises its
+#: array walk.
+_ADAPTIVE_CHUNK = 16
+
 
 def _plan_parallel(per_point_s, remaining, n_jobs, min_parallel_s):
     """Pick ``(n_jobs, chunksize)`` from a measured per-point cost.
@@ -521,13 +578,77 @@ def _hybrid_survivors(pairs, objectives=("seconds", "energy_joules")):
     """
     front = ParetoFront(objectives=objectives)
     index_of = {}  # id(point) -> grid index (points are unique objects)
-    for index, point in pairs:
-        if front.offer(point):
-            index_of[id(point)] = index
+    for chunk in _chunked(pairs, _BATCH_CHUNK):
+        chunk_index = {id(point): index for index, point in chunk}
+        for point in front.offer_all([point for _, point in chunk]):
+            index_of[id(point)] = chunk_index[id(point)]
     return sorted(
         ((index_of[id(point)], point) for point in front.points),
         key=lambda pair: pair[0],
     )
+
+
+def _adaptive_fine(workload, base_config, names, survivors, evaluator, objectives):
+    """Band-pruned fine phase of an adaptive hybrid sweep.
+
+    Walks the coarse-frontier survivors in ascending grid order, in
+    :data:`_ADAPTIVE_CHUNK`-point steps, tracking per objective the
+    smallest fine/coarse ratio observed so far.  A survivor is *skipped*
+    when its optimistic fine estimate — its coarse objectives scaled by
+    that minimum ratio shrunk by ``evaluator.band_slack`` — is already
+    strictly dominated by an actually-scored fine point: under the band
+    assumption (true ratios stay above the shrunk minimum) its true fine
+    values are dominated too, so it cannot sit on the final fine
+    frontier.  Everything else is scored through :func:`_evaluate_chunk`
+    (one array walk per chunk when the fine evaluator is batch-capable)
+    and widens the band.  Chunks run serially in-process, so the outcome
+    is deterministic regardless of ``n_jobs``.  Returns scored
+    ``(grid_index, point)`` pairs; failures are warn-dropped as usual.
+    """
+    shrink = 1.0 - evaluator.band_slack
+    low_ratio = None
+    scored_rows: List[np.ndarray] = []
+    results = []
+    for chunk in _chunked(survivors, _ADAPTIVE_CHUNK):
+        todo = []
+        for index, point in chunk:
+            coarse_vals = np.array(
+                [getattr(point, obj) for obj in objectives], dtype=np.float64
+            )
+            if low_ratio is not None and scored_rows:
+                optimistic = coarse_vals * low_ratio * shrink
+                rows = np.vstack(scored_rows)
+                less_eq = (rows <= optimistic).all(axis=1)
+                strictly = (rows < optimistic).any(axis=1)
+                if (less_eq & strictly).any():
+                    continue
+            todo.append((index, point, coarse_vals))
+        if not todo:
+            continue
+        scored = _evaluate_chunk(
+            workload,
+            base_config,
+            names,
+            [
+                (index, tuple(dict(point.parameters)[name] for name in names))
+                for index, point, _ in todo
+            ],
+            evaluator.fine,
+        )
+        for pair, (_, _, coarse_vals) in zip(scored, todo):
+            kept = next(iter(_filter_failures([pair])), None)
+            if kept is None:
+                continue
+            index, fine_point = kept
+            fine_vals = np.array(
+                [getattr(fine_point, obj) for obj in objectives], dtype=np.float64
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratio = np.where(coarse_vals > 0, fine_vals / coarse_vals, np.inf)
+            low_ratio = ratio if low_ratio is None else np.minimum(low_ratio, ratio)
+            scored_rows.append(fine_vals)
+            results.append((index, fine_point))
+    return results
 
 
 def _filter_failures(pairs):
@@ -768,6 +889,14 @@ def iter_design_space(
     stream = _iter_indexed_points(
         workload, grid, base_config, n_jobs, chunksize, evaluator
     )
+    if frontier is not None and _batch_capable(evaluator):
+        # Batched scoring arrives chunk-at-a-time anyway, so prune each
+        # chunk with one whole-chunk dominance broadcast instead of one
+        # ``offer`` per point — same yielded points, same final frontier
+        # (see :meth:`ParetoFront.offer_all`); laziness stays per-chunk.
+        for chunk in _chunked(stream, chunksize or _BATCH_CHUNK):
+            yield from frontier.offer_all([point for _, point in chunk])
+        return
     for _, point in stream:
         if frontier is not None and not frontier.offer(point):
             continue
@@ -826,21 +955,38 @@ def _iter_hybrid(
             evaluator.coarse,
         )
     survivors = _hybrid_survivors(coarse_stream, objectives=coarse_objectives)
-    indexed = (
-        (index, tuple(dict(point.parameters)[name] for name in names))
-        for index, point in survivors
-    )
-    # Survivor counts are small and each point is expensive: one point per
-    # task maximises fan-out.
-    rescored = _stream_evaluations(
-        workload,
-        base_config,
-        names,
-        indexed,
-        min(n_jobs, max(len(survivors), 1)),
-        1,
-        evaluator.fine,
-    )
+    if getattr(evaluator, "adaptive", False):
+        rescored = _adaptive_fine(
+            workload,
+            base_config,
+            names,
+            survivors,
+            evaluator,
+            objectives=coarse_objectives,
+        )
+    else:
+        indexed = (
+            (index, tuple(dict(point.parameters)[name] for name in names))
+            for index, point in survivors
+        )
+        if _batch_capable(evaluator.fine):
+            # A batch-capable fine evaluator scores the survivor set as a
+            # few in-process array walks; a pool would pay worker spawn to
+            # split work numpy already amortises.
+            fine_jobs, fine_chunk = 1, None
+        else:
+            # Survivor counts are small and each point is expensive: one
+            # point per task maximises fan-out.
+            fine_jobs, fine_chunk = min(n_jobs, max(len(survivors), 1)), 1
+        rescored = _stream_evaluations(
+            workload,
+            base_config,
+            names,
+            indexed,
+            fine_jobs,
+            fine_chunk,
+            evaluator.fine,
+        )
     for index, point in sorted(rescored, key=lambda pair: pair[0]):
         if frontier is not None and not frontier.offer(point):
             continue

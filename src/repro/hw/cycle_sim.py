@@ -52,7 +52,7 @@ import numpy as np
 
 from ..perf.memo import instance_memo
 from ..sim.engine import AttentionSimulatorBase, merge_results
-from .allocator import allocate_mac_lines
+from .allocator import allocate_mac_lines, allocate_mac_lines_batched
 from .dram import DramModel, DramRequest
 from .params import VITCOD_DEFAULT, HardwareConfig
 from .workload import AttentionWorkload, ModelWorkload, split_remainder
@@ -87,17 +87,23 @@ def _queue_scan(request_times, durations, init=0.0):
 
 
 def _queue_scan_rows(request_times, durations, init):
-    """Row-wise :func:`_queue_scan`: one independent FCFS queue per row.
+    """Row-wise :func:`_queue_scan` along the last axis: one independent
+    FCFS queue per row.
 
-    Running the cumulative sums and maxima along ``axis=1`` restarts the
-    recurrence at every row — rows are the batched engine's per-layer reset
-    points.  ``init`` broadcasts per row (shape ``(rows, 1)``).
+    Running the cumulative sums and maxima along ``axis=-1`` restarts the
+    recurrence at every row — rows are the batched engines' reset points,
+    whether the batch is 2-D ``(layers, jobs)`` (the whole-model scans)
+    or 3-D ``(points, rows, jobs)`` (the grid-batched DSE walk).
+    ``init`` and ``request_times`` broadcast against ``durations``: a
+    per-row ``(rows, 1)`` init, a scalar ``0.0``, or config-independent
+    ``(rows, jobs)`` durations under ``(points, rows, jobs)`` request
+    times all mean the same recurrence on the same values.
     """
-    if durations.shape[1] == 0:
+    if durations.shape[-1] == 0:
         return durations
-    total = np.cumsum(durations, axis=1)
+    total = np.cumsum(durations, axis=-1)
     slack = request_times - (total - durations)
-    return total + np.maximum(np.maximum.accumulate(slack, axis=1), init)
+    return total + np.maximum(np.maximum.accumulate(slack, axis=-1), init)
 
 
 def _pad_rows(arrays):
@@ -132,6 +138,38 @@ def _row_finals(values, lengths):
         return np.zeros(lengths.size)
     picked = values[np.arange(lengths.size), np.maximum(lengths - 1, 0)]
     return np.where(lengths > 0, picked, 0.0)
+
+
+#: float64 cells one grid-walk scan array may hold: the design-point axis
+#: of :meth:`CycleAccurateSimulator.simulate_attention_grid` is walked in
+#: sub-batches of ``budget // cells_per_point`` points, so peak memory is
+#: bounded no matter how many points one ``evaluate_batch`` chunk holds.
+#: 2**20 cells (8 MiB) measured fastest on DeiT-Base grids: the in-place
+#: scans then run cache-resident instead of streaming from DRAM (1<<22
+#: was ~2x slower wall-clock for identical results).
+_GRID_CELL_BUDGET = 1 << 20
+
+
+def _width_bands(widths):
+    """Group row indices into power-of-two width bands.
+
+    Rows whose job counts share a bit length land in one band, so each
+    band's matrix is padded only to its own widest row and every row
+    fills more than half of it (max/min width ratio < 2 within a band)
+    — no row is ever padded to the width of a far-wider band.  This is
+    the same economics that makes the ``"split"`` whole-model scan beat
+    ``"fused"``: the denser engine's rows are ~15× narrower than the
+    sparser engine's, so folding them into one matrix wastes most of its
+    cells.  Zero-width rows are dropped (they have no events to scan).
+    Returns int64 row-index arrays, one per band, narrowest band first.
+    """
+    bands = {}
+    for i, width in enumerate(widths):
+        width = int(width)
+        if width <= 0:
+            continue
+        bands.setdefault(width.bit_length(), []).append(i)
+    return [np.array(bands[bits], dtype=np.int64) for bits in sorted(bands)]
 
 
 @dataclass
@@ -754,3 +792,441 @@ class CycleAccurateSimulator(AttentionSimulatorBase):
             )
             for i in range(L)
         )
+
+    # ------------------------------------------------------------------
+    # Grid-batched DSE walk: a (points × rows × jobs) max-plus scan
+    # ------------------------------------------------------------------
+    #: Design-point knobs :meth:`simulate_attention_grid` accepts as
+    #: per-point columns; anything else comes from this simulator.
+    _GRID_COLUMNS = ("num_mac_lines", "dram_bandwidth_bytes_per_s",
+                     "act_buffer_bytes", "use_ae", "ae_compression")
+
+    def _resolve_grid_columns(self, columns):
+        """Normalise per-point column arrays for the grid walk.
+
+        Mirrors ``ViTCoDAccelerator._resolve_grid_columns``: ``columns``
+        maps a subset of :data:`_GRID_COLUMNS` to length-``P`` arrays
+        (already converted the way the design point would be built: ints
+        for MAC lines and buffer bytes, bytes/s for bandwidth); missing
+        knobs broadcast this simulator's own value.  Values are
+        validated like ``__init__`` — a chunk holding one invalid point
+        raises for the whole batch (the DSE engine then falls back to
+        per-point scoring, which attributes the failure).  A bandwidth
+        column overrides the DRAM channel rate exactly as a per-point
+        config clone would (``bandwidth / frequency``); without one the
+        channel keeps this simulator's own ``dram.bytes_per_cycle``.
+        """
+        unknown = set(columns) - set(self._GRID_COLUMNS)
+        if unknown:
+            raise ValueError(
+                f"unknown design-point column(s) {sorted(unknown)}; "
+                f"choose from {list(self._GRID_COLUMNS)}"
+            )
+        lengths = {len(np.atleast_1d(v)) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"design-point columns disagree on length: {sorted(lengths)}"
+            )
+        points = lengths.pop() if lengths else 1
+        cfg = self.config
+
+        def column(name, default, dtype):
+            if name in columns:
+                return np.asarray(columns[name], dtype=dtype)
+            return np.full(points, default, dtype=dtype)
+
+        lines = column("num_mac_lines", cfg.num_mac_lines, np.int64)
+        bandwidth = column("dram_bandwidth_bytes_per_s",
+                           cfg.dram_bandwidth_bytes_per_s, np.float64)
+        act_buffer = column("act_buffer_bytes", cfg.act_buffer_bytes,
+                            np.int64)
+        use_ae = column("use_ae", self.use_ae, bool)
+        ae = column("ae_compression", self.ae_compression, np.float64)
+        if not ((0.0 < ae) & (ae <= 1.0)).all():
+            raise ValueError("ae_compression must be in (0, 1]")
+        if "dram_bandwidth_bytes_per_s" in columns:
+            bpc = bandwidth / cfg.frequency_hz
+        else:
+            bpc = np.full(points, self.dram.bytes_per_cycle)
+        return {
+            "points": points,
+            "lines": lines,
+            "bpc": bpc,
+            "act_buffer": act_buffer,
+            "ratio": np.where(use_ae, ae, 1.0),
+        }
+
+    def _grid_service(self, nbytes, bpc):
+        """Vectorized :meth:`_service` for sequential DRAM requests.
+
+        The same op sequence as :meth:`DramModel.service_cycles` for a
+        sequential request followed by :func:`_quantize` — burst-aligned
+        bytes over the channel rate, snapped to the event grid, zero
+        bytes costing zero — elementwise over a (points × layers)
+        broadcast with per-point ``bpc`` channel rates.
+        """
+        burst = self.dram.burst_bytes
+        bursts = np.ceil(nbytes / burst)
+        cycles = np.round(bursts * burst / bpc * _TIME_SCALE) / _TIME_SCALE
+        return np.where(nbytes == 0, 0.0, cycles)
+
+    def _grid_geometry(self, layers):
+        """Config-independent geometry of the grid walk, built once per
+        :meth:`simulate_attention_grid` call.
+
+        Job widths are a property of the workload alone — design points
+        change event *durations*, never the job list — so the width-band
+        row grouping, the padded product matrices, their padding masks,
+        and the softmax durations (the lane count is never swept) are
+        shared by every design point in the batch.  The per-layer job
+        products themselves come memoized off the workload
+        (:meth:`_column_products`), so repeated batches on a cached
+        workload skip the per-head walks.
+        """
+        cfg = self.config
+        lanes = cfg.softmax_lanes
+        b = cfg.bytes_per_element
+        L = len(layers)
+
+        per_wave = np.empty(L, dtype=np.int64)
+        n_d = np.empty(L, dtype=np.int64)
+        n_s = np.empty(L, dtype=np.int64)
+        denser_macs = np.empty(L, dtype=np.int64)
+        sparser_macs = np.empty(L, dtype=np.int64)
+        tensor_bytes = np.empty(L, dtype=np.int64)
+        k_bytes_full = np.empty(L, dtype=np.int64)
+        total_nnz = np.empty(L, dtype=np.int64)
+        softmax_busy = 0.0
+        products, softmax_cols = [], []
+        for i, layer in enumerate(layers):
+            head_dim = layer.head_dim
+            d_prod, s_prod = self._column_products(layer)
+            products.append((d_prod, s_prod))
+            per_wave[i] = ceil(head_dim / cfg.macs_per_line)
+            n_d[i], n_s[i] = d_prod.size, s_prod.size
+            denser_macs[i] = int(d_prod.sum()) * head_dim
+            sparser_macs[i] = int(s_prod.sum()) * head_dim
+            tensor_bytes[i] = layer.num_tokens * layer.embed_dim * b
+            k_bytes_full[i] = head_dim * b
+            total_nnz[i] = layer.total_nnz
+            sm_d = (-(-d_prod // lanes)).astype(np.float64)
+            sm_s = (-(-s_prod // lanes)).astype(np.float64)
+            softmax_cols.append((sm_d, sm_s))
+            softmax_busy += float(sm_d.sum() + sm_s.sum())
+
+        # A layer's softmax unit is ONE FCFS queue serving all denser
+        # compute completions before the sparser ones; only its FINAL
+        # state is ever consumed (its busy time is config-independent).
+        # The final of a max-plus queue is ``S_W + max(0, max_j(r_j -
+        # S_excl_j))`` with ``S = cumsum(durations)`` — a plain max
+        # reduce, no scan — so per layer we keep the total ``S_W`` and
+        # per compute row the concatenated-queue exclusive cumsums
+        # (denser rows: ``S_excl``; sparser rows: the full denser sum
+        # plus their own ``S_excl``), ``+inf`` in padded slots so padding
+        # can never win the max.  All values live on the 2**-20 grid, so
+        # regrouping the concatenated queue this way is exact (the same
+        # argument that makes the fused and split whole-model scans agree
+        # bit for bit).
+        sm_total = np.empty(L)
+        sm_denser_total = np.empty(L)
+        for i, (sm_d, sm_s) in enumerate(softmax_cols):
+            sm_denser_total[i] = sm_d.sum()
+            sm_total[i] = sm_denser_total[i] + sm_s.sum()
+
+        # Compute rows: 2L independent max-plus resets (denser engine of
+        # layer i is row i, sparser engine is row L + i), width-banded so
+        # no row pads to a far-wider engine's job count.
+        compute_bands = []
+        for rows in _width_bands(np.concatenate([n_d, n_s])):
+            is_d = rows < L
+            layer_idx = np.where(is_d, rows, rows - L)
+            pad, lengths = _pad_rows([
+                products[r][0] if r < L else products[r - L][1]
+                for r in rows.tolist()
+            ])
+            sm_off = np.full(pad.shape, np.inf)
+            for j, r in enumerate(rows.tolist()):
+                sm = softmax_cols[r][0] if r < L else softmax_cols[r - L][1]
+                excl = np.cumsum(sm) - sm
+                if r >= L:
+                    excl = sm_denser_total[r - L] + excl
+                sm_off[j, : sm.size] = excl
+            compute_bands.append({
+                "layer": layer_idx,
+                "is_d": is_d,
+                "pad": pad,
+                "lengths": lengths,
+                "mask": np.arange(pad.shape[1])[None, :] >= lengths[:, None],
+                "sm_off": sm_off,
+            })
+
+        cells = sum(band["pad"].size for band in compute_bands)
+        return {
+            "layers": L,
+            "per_wave": per_wave,
+            "n_d": n_d,
+            "n_s": n_s,
+            "denser_macs": denser_macs,
+            "sparser_macs": sparser_macs,
+            "tensor_bytes": tensor_bytes,
+            "k_bytes_full": k_bytes_full,
+            "total_nnz": total_nnz,
+            "softmax_busy": softmax_busy,
+            "sm_total": sm_total,
+            "compute_bands": compute_bands,
+            "cells": cells,
+            "jobs_executed": int(n_d.sum() + n_s.sum()) + 2 * L,
+        }
+
+    def simulate_attention_grid(self, model, columns):
+        """Simulate ``P`` design points' whole attention stacks at once.
+
+        The grid-batched DSE path of :meth:`simulate_attention`: swept
+        hardware knobs arrive as per-point columns (see
+        :meth:`_resolve_grid_columns`) instead of ``P`` simulator
+        instances, and every (point, layer, job) event is scheduled by
+        the same max-plus scans broadcast over a leading design-point
+        axis — mirroring
+        :meth:`~repro.hw.accelerator.ViTCoDAccelerator.simulate_attention_grid`
+        one abstraction level down, at event granularity.
+
+        Returns a dict of length-``P`` float64 arrays — ``makespan``,
+        ``sddmm_makespan``, ``spmm_makespan``, ``denser_busy``,
+        ``sparser_busy``, ``dram_busy``, ``softmax_busy`` — plus the
+        config-independent scalar ``jobs_executed``.  Element ``i`` of
+        every array is **bit-for-bit** the corresponding
+        :class:`CycleSimResult` total of a per-point
+        :meth:`simulate_attention` call at design point ``i``: all event
+        durations live on the ``2**-20``-cycle grid, so every sum and
+        max here is exact and association-free, and every non-grid
+        expression (byte counts, tile counts, service times) repeats the
+        per-point path's IEEE ops operand for operand.
+
+        Rows are grouped into width-band sub-batches
+        (:func:`_width_bands`) so neither engine's rows pad to the
+        other's width.  The design-point axis is walked grouped by the
+        (MAC lines, bytes/cycle, AE ratio) triple — the scan tables
+        those columns determine are shared across each group
+        (:meth:`_grid_group_tables`) — in sub-batches sized to
+        :data:`_GRID_CELL_BUDGET` cells so peak memory stays bounded
+        regardless of batch size.
+        """
+        if isinstance(model, ModelWorkload):
+            layers = list(model.attention_layers)
+        else:
+            layers = list(model)
+        if not layers:
+            raise ValueError("no attention layers to simulate")
+        if type(self.dram) is not DramModel:
+            raise ValueError(
+                "simulate_attention_grid requires a plain DramModel: a "
+                "custom subclass may carry per-request state the batched "
+                "walk cannot replay (simulate per point instead)"
+            )
+        cols = self._resolve_grid_columns(columns)
+        geometry = self._grid_geometry(layers)
+        points = cols["points"]
+        totals = {
+            name: np.empty(points)
+            for name in ("makespan", "sddmm_makespan", "spmm_makespan",
+                         "denser_busy", "sparser_busy", "dram_busy",
+                         "softmax_busy")
+        }
+
+        # Engine MAC-line split per (point, layer); the batched allocator
+        # is elementwise-exact against the scalar one, floored at 1 as
+        # the schedulers require.  Lines below the allocator's minimum
+        # raise here for the whole batch, before any totals are written.
+        d_lines, s_lines = allocate_mac_lines_batched(
+            cols["lines"][:, None], geometry["denser_macs"],
+            geometry["sparser_macs"]
+        )
+        alloc = {
+            "d_lines": np.maximum(d_lines, 1),
+            "s_lines": np.maximum(s_lines, 1),
+        }
+
+        # Points sharing a (MAC lines, bytes/cycle, AE ratio) triple
+        # share their entire scan geometry -- durations, cumsums, and
+        # the running max of the arithmetic request ladder -- so the
+        # point axis is walked one such group at a time: the heavy
+        # tables collapse from the point axis onto the handful of
+        # distinct column triples (_grid_group_tables), and the
+        # full-size per-point arrays only ever see elementwise SIMD
+        # passes (_grid_walk_group).  Totals are scattered straight back
+        # through the original indices, so the ordering is unobservable.
+        order = np.lexsort(
+            (cols["act_buffer"], cols["ratio"], cols["bpc"], cols["lines"])
+        )
+        key = np.stack([cols["lines"][order], cols["bpc"][order],
+                        cols["ratio"][order]])
+        cuts = np.flatnonzero(np.any(key[:, 1:] != key[:, :-1], axis=0)) + 1
+        starts = np.concatenate(([0], cuts))
+        stops = np.concatenate((cuts, [points]))
+        step = max(1, _GRID_CELL_BUDGET // max(geometry["cells"], 1))
+        line_cache = {}
+        for ga, gb in zip(starts.tolist(), stops.tolist()):
+            shared = self._grid_group_tables(
+                geometry, cols, alloc, order[ga], line_cache
+            )
+            for start in range(ga, gb, step):
+                idx = order[start:min(start + step, gb)]
+                self._grid_walk_group(geometry, cols, shared, idx, totals)
+        totals["jobs_executed"] = geometry["jobs_executed"]
+        return totals
+
+    def _grid_group_tables(self, geometry, cols, alloc, rep, line_cache):
+        """Scan tables shared by one (MAC lines, bytes/cycle, AE) group.
+
+        ``rep`` indexes any design point of the group (all points of a
+        group agree on every column the tables read).  Compute durations
+        depend only on the MAC-line column, so the duration tables --
+        per band: the inclusive cumsum ``total``, its exclusive form
+        ``offset``, per-row ``busy`` sums, the ``last`` cumsum column,
+        and the softmax slack ``addend`` -- are cached per distinct line
+        count across groups.
+
+        The per-group work is the request-ladder running max: requests
+        are *arithmetic* in the job index (``base + step * j``, the
+        double-buffered K-column loads), so the scanned slack splits as
+        ``base + (step * j - offset_j)`` and its running max as
+        ``base + M_j`` with ``M = maximum.accumulate(step * j - offset)``
+        -- a pure function of this group's columns, independent of the
+        point axis.  Every operand lives on the ``2**-20`` grid with
+        magnitude far below ``2**32``, so both sums are exact and the
+        regrouping is bitwise-neutral; padded slots keep their ``-inf``
+        request times through ``M``, exactly as in the direct scan.
+        """
+        g = geometry
+        lines_key = int(cols["lines"][rep])
+        tables = line_cache.get(lines_key)
+        if tables is None:
+            tables = []
+            d_row = alloc["d_lines"][rep]
+            s_row = alloc["s_lines"][rep]
+            for band in g["compute_bands"]:
+                layer_idx = band["layer"]
+                eng_lines = np.where(
+                    band["is_d"], d_row[layer_idx], s_row[layer_idx]
+                )
+                durations = (
+                    -(-band["pad"] // eng_lines[:, None])
+                    * g["per_wave"][layer_idx][:, None]
+                ).astype(np.float64)
+                total = np.cumsum(durations, axis=-1)
+                tables.append({
+                    "total": total,
+                    "offset": total - durations,
+                    "busy": durations.sum(axis=-1),
+                    "last": total[:, -1],
+                    "addend": total - band["sm_off"],
+                })
+            line_cache[lines_key] = tables
+
+        # The ladder step is the sparser K-column service time, computed
+        # from this group's scalar bandwidth/ratio with the exact
+        # per-point expressions (IEEE ops are elementwise, so scalar and
+        # column evaluation agree bitwise).
+        bpc = cols["bpc"][rep]
+        ratio = cols["ratio"][rep]
+        step_vec = self._grid_service(np.trunc(g["k_bytes_full"] * ratio), bpc)
+        bands = []
+        for band, t in zip(g["compute_bands"], tables):
+            width = band["pad"].shape[1]
+            h = step_vec[band["layer"]][:, None] * np.arange(1, width + 1)
+            h -= t["offset"]
+            h[band["mask"]] = -np.inf
+            bands.append({**t, "M": np.maximum.accumulate(h, axis=-1)})
+        return bands
+
+    def _grid_walk_group(self, geometry, cols, shared, idx, totals):
+        """One design-point sub-batch within a (lines, bpc, ratio) group.
+
+        Every expression mirrors :meth:`_simulate_attention_batched`
+        (and through it the per-point scans) with a leading point axis;
+        comments mark the correspondence.  The compute scans themselves
+        are prefactored into ``shared`` (see :meth:`_grid_group_tables`):
+        a row's job completions are ``total_j + max(base + M_j, 0)``,
+        so the per-point work is broadcast adds and maxima only.
+
+        The softmax queues need no scan at all: only each queue's
+        *final* completion is consumed downstream, and unrolling the
+        FCFS recurrence gives ``S_total + max(0, max_j(r_j - S_excl_j))``
+        -- a plain max-reduce.  With ``r_j = total_j + max0_j`` the
+        reduced term is ``max0_j + (total_j - S_excl_j)``, whose second
+        summand is the precomputed ``addend``; denser requests precede
+        sparser ones exactly as in the event loop (the sparser rows'
+        ``S_excl`` starts past the denser jobs' total softmax time), and
+        the concatenated queue equals the split path's carried-init
+        scans bit for bit (see :meth:`_scan_fused`).  Padded slots carry
+        ``addend = -inf`` and layers without a denser (or sparser) row
+        keep that side's running max at ``-inf``, reproducing the split
+        path's empty-segment branches.
+        """
+        g = geometry
+        L = g["layers"]
+        p = idx.size
+        bpc = cols["bpc"][idx][:, None]
+        act_buffer = cols["act_buffer"][idx][:, None]
+        ratio = cols["ratio"][idx][:, None]
+        lines = cols["lines"][idx][:, None]
+
+        # Byte/tile geometry and quantized DRAM service times: the exact
+        # `_layer_geometry` / `_build_layer_services` expressions with
+        # ratio/buffer/bandwidth as (points, 1) columns.
+        k_col_bytes = np.trunc(g["k_bytes_full"] * ratio)
+        k_tiles = np.maximum(
+            1.0, np.ceil(g["tensor_bytes"] * ratio / (act_buffer / 2))
+        )
+        q_stream = np.trunc(g["tensor_bytes"] * ratio * k_tiles)
+        q_service = self._grid_service(q_stream, bpc)
+        s_col = self._grid_service(k_col_bytes, bpc)
+        v_service = self._grid_service(2 * g["tensor_bytes"], bpc)
+
+        spmm_compute = np.ceil(g["total_nnz"] / lines) * g["per_wave"]
+
+        t_denser = np.zeros((p, L))
+        t_sparser = np.zeros((p, L))
+        denser_busy = np.zeros((p, L))
+        sparser_busy = np.zeros((p, L))
+        md = np.full((p, L), -np.inf)
+        ms = np.full((p, L), -np.inf)
+        for band, t in zip(g["compute_bands"], shared):
+            layer_idx = band["layer"]
+            is_d = band["is_d"]
+            base = np.where(
+                is_d,
+                q_service[:, layer_idx],
+                q_service[:, layer_idx]
+                + s_col[:, layer_idx] * g["n_d"][layer_idx],
+            )
+            buf = base[:, :, None] + t["M"]
+            np.maximum(buf, 0.0, out=buf)
+            finish = buf[:, :, -1] + t["last"]
+            d_rows = np.flatnonzero(is_d)
+            s_rows = np.flatnonzero(~is_d)
+            t_denser[:, layer_idx[d_rows]] = finish[:, d_rows]
+            t_sparser[:, layer_idx[s_rows]] = finish[:, s_rows]
+            denser_busy[:, layer_idx[d_rows]] = t["busy"][d_rows]
+            sparser_busy[:, layer_idx[s_rows]] = t["busy"][s_rows]
+            buf += t["addend"]
+            band_max = buf.max(axis=-1)
+            md[:, layer_idx[d_rows]] = band_max[:, d_rows]
+            ms[:, layer_idx[s_rows]] = band_max[:, s_rows]
+        sm_free = g["sm_total"] + np.maximum(np.maximum(md, ms), 0.0)
+
+        sddmm_done = np.maximum(np.maximum(t_denser, t_sparser), sm_free)
+        dram_free = q_service + s_col * (g["n_d"] + g["n_s"])
+        v_done = np.maximum(sddmm_done, dram_free) + v_service
+        spmm_done = np.maximum(sddmm_done + spmm_compute, v_done)
+        dram_busy = q_service + s_col * (g["n_d"] + g["n_s"]) + v_service
+
+        # Whole-model totals: every summand lives on the 2**-20 grid, so
+        # the axis sums equal the per-layer merge fold bit for bit.
+        totals["makespan"][idx] = spmm_done.sum(axis=1)
+        totals["sddmm_makespan"][idx] = sddmm_done.sum(axis=1)
+        totals["spmm_makespan"][idx] = (spmm_done - sddmm_done).sum(axis=1)
+        totals["denser_busy"][idx] = denser_busy.sum(axis=1)
+        totals["sparser_busy"][idx] = sparser_busy.sum(axis=1)
+        totals["dram_busy"][idx] = dram_busy.sum(axis=1)
+        totals["softmax_busy"][idx] = g["softmax_busy"]

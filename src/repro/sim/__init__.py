@@ -46,6 +46,7 @@ from .engine import AttentionSimulatorBase, ModelSimulatorBase, merge_results
 from .evaluator import (
     AnalyticalEvaluator,
     BatchedAnalyticalEvaluator,
+    BatchedCycleSimEvaluator,
     BatchEvaluator,
     CycleSimEvaluator,
     EvalMetrics,
@@ -70,6 +71,7 @@ __all__ = [
     "AnalyticalEvaluator",
     "BatchedAnalyticalEvaluator",
     "CycleSimEvaluator",
+    "BatchedCycleSimEvaluator",
     "HybridEvaluator",
     "resolve_evaluator",
     "evaluator_spec",

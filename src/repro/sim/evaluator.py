@@ -38,7 +38,12 @@ Three built-in strategies cover the repo's simulators:
   truth: latency is the simulated makespan, energy is charged from the
   workload's MAC/softmax counts plus the simulator's observed DRAM
   occupancy with the same :class:`~repro.hw.params.EnergyTable` constants
-  the analytical model uses;
+  the analytical model uses.  Its :class:`BatchedCycleSimEvaluator`
+  subclass — what ``"cycle"`` resolves to — adds the batch axis by
+  broadcasting the simulator's (layer × job) max-plus scans over a
+  leading design-point axis
+  (:meth:`~repro.hw.cycle_sim.CycleAccurateSimulator.simulate_attention_grid`),
+  bit-for-bit equal to the per-point path;
 * :class:`HybridEvaluator` — a two-phase strategy the DSE engine
   special-cases: prune the grid with the cheap analytical model, then
   re-score only the surviving frontier cycle-accurately.  Called directly
@@ -56,8 +61,8 @@ same strategy the merge step assumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, List, Protocol, Sequence, runtime_checkable
+from dataclasses import dataclass, replace
+from typing import Any, Callable, List, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -69,7 +74,10 @@ __all__ = [
     "AnalyticalEvaluator",
     "BatchedAnalyticalEvaluator",
     "CycleSimEvaluator",
+    "BatchedCycleSimEvaluator",
     "HybridEvaluator",
+    "apply_dse_parameter",
+    "dse_grid_columns",
     "resolve_evaluator",
     "evaluator_spec",
     "evaluator_from_spec",
@@ -151,6 +159,160 @@ def _attention_layers(workload):
     return getattr(workload, "attention_layers", workload)
 
 
+# ----------------------------------------------------------------------
+# The DSE parameter table: ONE declaration per swept knob
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _DseParameter:
+    """How one swept DSE knob routes onto a design point.
+
+    Each knob is declared once, with both of its execution forms — the
+    per-point route (clone a :class:`~repro.hw.params.HardwareConfig`
+    field or add an accelerator kwarg) and the batched route (append
+    per-point numpy columns for the grid simulators) — side by side, so
+    the two paths can never drift: a new knob either defines both forms
+    here or exists in neither.
+    """
+
+    name: str
+    #: Whether the cycle simulator honours the knob.  Drives the derived
+    #: :attr:`CycleSimEvaluator._SUPPORTED_KWARGS` set and the batched
+    #: cycle evaluator's structural-rejection check, so the per-point and
+    #: batched cycle paths accept exactly the same sweeps by construction.
+    cycle_modelled: bool
+    #: ``accel_kwargs`` keys the knob may introduce (empty for knobs that
+    #: route to config fields, which every simulator honours).
+    kwargs_keys: tuple
+    #: ``(config, accel_kwargs, value) -> (config, accel_kwargs)``
+    route: Callable
+    #: ``(columns, values, default_ae) -> None`` — append grid columns,
+    #: applying the exact conversions ``route`` applies before cloning.
+    columns: Callable
+
+
+def _route_mac_lines(config, kwargs, value):
+    return replace(config, num_mac_lines=int(value)), kwargs
+
+
+def _columns_mac_lines(columns, values, default_ae):
+    columns["num_mac_lines"] = np.array([int(v) for v in values], dtype=np.int64)
+
+
+def _route_bandwidth(config, kwargs, value):
+    return replace(config, dram_bandwidth_bytes_per_s=float(value) * 1e9), kwargs
+
+
+def _columns_bandwidth(columns, values, default_ae):
+    columns["dram_bandwidth_bytes_per_s"] = np.array(
+        [float(v) * 1e9 for v in values], dtype=np.float64
+    )
+
+
+def _route_act_buffer(config, kwargs, value):
+    return replace(config, act_buffer_bytes=int(value * 1024)), kwargs
+
+
+def _columns_act_buffer(columns, values, default_ae):
+    columns["act_buffer_bytes"] = np.array(
+        [int(v * 1024) for v in values], dtype=np.int64
+    )
+
+
+def _route_ae(config, kwargs, value):
+    if value is None:
+        return config, {**kwargs, "use_ae": False}
+    return config, {**kwargs, "use_ae": True, "ae_compression": float(value)}
+
+
+def _columns_ae(columns, values, default_ae):
+    # `None` means the AE datapath is off; the ratio column then keeps
+    # the simulator's default so validation passes, exactly like the
+    # per-point kwargs route.
+    columns["use_ae"] = np.array([v is not None for v in values], dtype=bool)
+    columns["ae_compression"] = np.array(
+        [default_ae if v is None else float(v) for v in values], dtype=np.float64
+    )
+
+
+def _route_q_forwarding(config, kwargs, value):
+    return config, {**kwargs, "q_forwarding_hit_rate": float(value)}
+
+
+def _columns_q_forwarding(columns, values, default_ae):
+    columns["q_forwarding_hit_rate"] = np.array(
+        [float(v) for v in values], dtype=np.float64
+    )
+
+
+_DSE_PARAMETERS = {
+    p.name: p
+    for p in (
+        _DseParameter("mac_lines", True, (), _route_mac_lines, _columns_mac_lines),
+        _DseParameter(
+            "bandwidth_gbps", True, (), _route_bandwidth, _columns_bandwidth
+        ),
+        _DseParameter(
+            "act_buffer_kb", True, (), _route_act_buffer, _columns_act_buffer
+        ),
+        _DseParameter(
+            "ae_compression",
+            True,
+            ("use_ae", "ae_compression"),
+            _route_ae,
+            _columns_ae,
+        ),
+        _DseParameter(
+            "q_forwarding_hit_rate",
+            False,  # only the analytical model applies Q forwarding
+            ("q_forwarding_hit_rate",),
+            _route_q_forwarding,
+            _columns_q_forwarding,
+        ),
+    )
+}
+
+
+def _unknown_parameter(name):
+    return KeyError(
+        f"unknown DSE parameter {name!r}; choose from " + ", ".join(_DSE_PARAMETERS)
+    )
+
+
+def apply_dse_parameter(config, accel_kwargs, name, value):
+    """Route one swept parameter to the config or the accelerator kwargs.
+
+    THE per-point parameter route (the DSE engine's ``_apply`` delegates
+    here): returns the updated ``(config, accel_kwargs)`` pair; unknown
+    names raise ``KeyError`` (a malformed grid is a caller bug).
+    """
+    try:
+        parameter = _DSE_PARAMETERS[name]
+    except KeyError:
+        raise _unknown_parameter(name) from None
+    return parameter.route(config, accel_kwargs, value)
+
+
+def dse_grid_columns(names, value_rows, default_ae):
+    """Build grid-simulator columns for a chunk of design points.
+
+    THE batched parameter route: one column dict for
+    ``simulate_attention_grid`` (accelerator or cycle simulator), with
+    every value converted exactly as :func:`apply_dse_parameter` converts
+    it before cloning a config — so batched and per-point scoring read
+    bit-identical design points.  ``default_ae`` fills the AE-ratio
+    column for points whose AE datapath is off (the column must still
+    pass validation).
+    """
+    columns = {}
+    for j, name in enumerate(names):
+        try:
+            parameter = _DSE_PARAMETERS[name]
+        except KeyError:
+            raise _unknown_parameter(name) from None
+        parameter.columns(columns, [row[j] for row in value_rows], default_ae)
+    return columns
+
+
 class AnalyticalEvaluator:
     """Score points with the closed-form ViTCoD phase model (the default).
 
@@ -195,45 +357,9 @@ class BatchedAnalyticalEvaluator(AnalyticalEvaluator):
         from ..hw.accelerator import ViTCoDAccelerator
 
         accel = ViTCoDAccelerator(config=base_config)
-        value_rows = list(value_rows)
-        columns = {}
-        for j, name in enumerate(names):
-            col = [row[j] for row in value_rows]
-            # Each branch applies the exact conversion the per-point
-            # parameter table applies before cloning a config
-            # (`repro.harness.dse._apply`), so column values are
-            # bit-identical to the per-point fields.
-            if name == "mac_lines":
-                columns["num_mac_lines"] = np.array(
-                    [int(v) for v in col], dtype=np.int64
-                )
-            elif name == "bandwidth_gbps":
-                columns["dram_bandwidth_bytes_per_s"] = np.array(
-                    [float(v) * 1e9 for v in col], dtype=np.float64
-                )
-            elif name == "act_buffer_kb":
-                columns["act_buffer_bytes"] = np.array(
-                    [int(v * 1024) for v in col], dtype=np.int64
-                )
-            elif name == "ae_compression":
-                # `None` means the AE datapath is off; the ratio column
-                # then keeps the accelerator's default so validation
-                # passes, exactly like the per-point kwargs route.
-                columns["use_ae"] = np.array([v is not None for v in col], dtype=bool)
-                columns["ae_compression"] = np.array(
-                    [accel.ae_compression if v is None else float(v) for v in col],
-                    dtype=np.float64,
-                )
-            elif name == "q_forwarding_hit_rate":
-                columns["q_forwarding_hit_rate"] = np.array(
-                    [float(v) for v in col], dtype=np.float64
-                )
-            else:
-                raise KeyError(
-                    f"unknown DSE parameter {name!r}; choose from "
-                    "mac_lines, bandwidth_gbps, act_buffer_kb, "
-                    "ae_compression, q_forwarding_hit_rate"
-                )
+        columns = dse_grid_columns(
+            names, list(value_rows), default_ae=accel.ae_compression
+        )
         seconds, energy = accel.simulate_attention_grid(workload, columns)
         return [
             EvalMetrics(seconds=s, energy_joules=e)
@@ -265,7 +391,16 @@ class CycleSimEvaluator:
     #: ``accel_kwargs`` the cycle simulator can honour; anything else (e.g.
     #: ``q_forwarding_hit_rate``, which only the analytical model applies)
     #: raises instead of silently altering the swept grid's meaning.
-    _SUPPORTED_KWARGS = frozenset({"use_ae", "ae_compression"})
+    #: Derived from the DSE parameter table's ``cycle_modelled`` flags, so
+    #: the per-point and batched cycle paths reject exactly the same knobs
+    #: — a new swept parameter cannot be honoured by one and refused by
+    #: the other.
+    _SUPPORTED_KWARGS = frozenset(
+        key
+        for parameter in _DSE_PARAMETERS.values()
+        if parameter.cycle_modelled
+        for key in parameter.kwargs_keys
+    )
 
     def __init__(self, engine="vectorized", scan="split"):
         self.engine = engine
@@ -310,6 +445,95 @@ class CycleSimEvaluator:
         )
 
 
+class BatchedCycleSimEvaluator(CycleSimEvaluator):
+    """The cycle-accurate strategy with a whole-chunk batch axis.
+
+    Scoring one point is inherited unchanged; ``evaluate_batch`` runs a
+    whole chunk of grid points as one
+    :meth:`~repro.hw.cycle_sim.CycleAccurateSimulator.simulate_attention_grid`
+    (points × layers × jobs) max-plus walk — swept knobs become per-point
+    numpy columns (via :func:`dse_grid_columns`, the same table the
+    per-point route reads), and the results are **bit-for-bit** what
+    per-point calls produce: the grid walk's event durations live on the
+    same ``2**-20``-cycle grid and its energy charge repeats
+    :meth:`CycleSimEvaluator._energy_pj` operand for operand.  Because
+    the strategy is the same, ``evaluator_spec`` still renders it as
+    ``{"name": "cycle", ...}``: batched and per-point shards of one
+    :mod:`repro.dist` study share a manifest and produce identical
+    stores.
+
+    Only the vectorized engine has a grid walk; with ``engine="scalar"``
+    — the reference event loop — :attr:`batch_capable` turns the batch
+    surface off and the DSE engine keeps the per-point path, preserving
+    the scalar engine's role as the independent oracle.
+
+    A chunk containing an invalid point — MAC lines below the allocator's
+    minimum, an out-of-range AE ratio — raises for the whole batch; the
+    DSE engine then falls back to per-point scoring of that chunk, which
+    captures exactly the per-point failures an unbatched sweep would.  A
+    sweep of a knob the cycle simulator does not model raises
+    :class:`UnsupportedParameterError` exactly like the per-point path
+    (same table, same message).
+    """
+
+    @property
+    def batch_capable(self):
+        """Batch only the vectorized engine (see the class docstring)."""
+        return self.engine == "vectorized"
+
+    def evaluate_batch(self, workload, base_config, names, value_rows):
+        from ..hw.cycle_sim import CycleAccurateSimulator
+
+        unsupported = {
+            key
+            for name in names
+            if name in _DSE_PARAMETERS and not _DSE_PARAMETERS[name].cycle_modelled
+            for key in _DSE_PARAMETERS[name].kwargs_keys
+        }
+        if unsupported:
+            raise UnsupportedParameterError(
+                "CycleSimEvaluator cannot honour swept parameter(s) "
+                f"{sorted(unsupported)}; the cycle simulator only models "
+                f"{sorted(self._SUPPORTED_KWARGS)}"
+            )
+        sim = CycleAccurateSimulator(
+            config=base_config, engine=self.engine, scan=self.scan
+        )
+        columns = dse_grid_columns(
+            names, list(value_rows), default_ae=sim.ae_compression
+        )
+        totals = sim.simulate_attention_grid(workload, columns)
+
+        # Energy: the exact expressions of :meth:`_energy_pj` /
+        # ``cycles_to_seconds`` with the per-point scalars that vary
+        # across the chunk (DRAM bytes-per-cycle) as columns — elementwise
+        # the same IEEE ops, in the same order, as the per-point calls.
+        layers = _attention_layers(workload)
+        macs = sum(l.sddmm_macs + l.spmm_macs for l in layers)
+        softmax_ops = sum(l.total_nnz for l in layers)
+        if "dram_bandwidth_bytes_per_s" in columns:
+            bytes_per_cycle = (
+                columns["dram_bandwidth_bytes_per_s"] / base_config.frequency_hz
+            )
+        else:
+            bytes_per_cycle = base_config.bytes_per_cycle
+        dram_bytes = totals["dram_busy"] * bytes_per_cycle
+        sram_bytes = 2 * dram_bytes + macs * base_config.bytes_per_element / 4
+        e = base_config.energy
+        energy_pj = (
+            macs * e.mac_pj
+            + dram_bytes * e.dram_byte_pj
+            + sram_bytes * e.sram_byte_pj
+            + softmax_ops * e.softmax_op_pj
+            + totals["makespan"] * e.static_pj_per_cycle
+        )
+        seconds = totals["makespan"] / base_config.frequency_hz
+        return [
+            EvalMetrics(seconds=s, energy_joules=pj * 1e-12)
+            for s, pj in zip(seconds.tolist(), energy_pj.tolist())
+        ]
+
+
 class HybridEvaluator:
     """Prune with a cheap evaluator, re-score survivors with the real one.
 
@@ -318,13 +542,38 @@ class HybridEvaluator:
     Pareto pruning, then only the surviving frontier is re-scored with
     :attr:`fine` (in deterministic grid order).  Used as a plain evaluator
     on a single point it simply defers to :attr:`fine`.
+
+    ``adaptive=True`` opts the fine phase into band-pruned re-scoring:
+    the engine tracks the observed fine/coarse objective-ratio band as
+    survivors are scored and skips the survivors whose *optimistic* fine
+    estimate — coarse objectives scaled by the smallest observed ratio,
+    shrunk by ``band_slack`` — is already strictly dominated by an
+    actually-scored fine point.  Under the band assumption (each
+    objective's true fine/coarse ratio stays above the observed minimum
+    times ``1 - band_slack``) a skipped survivor is provably off the
+    final fine frontier, so the fine *frontier* is unchanged while
+    frontier-adjacent survivors stop costing cycle-accurate runs; the
+    returned survivor *list* shrinks accordingly.  Adaptive hybrids run
+    their fine phase serially in-process (deterministic regardless of
+    ``n_jobs``) and cannot drive a sharded merge
+    (:func:`repro.dist.merge_store` rejects them).
     """
 
     name = "hybrid"
 
-    def __init__(self, coarse: Evaluator = None, fine: Evaluator = None):
+    def __init__(
+        self,
+        coarse: Evaluator = None,
+        fine: Evaluator = None,
+        adaptive: bool = False,
+        band_slack: float = 0.25,
+    ):
         self.coarse = coarse if coarse is not None else BatchedAnalyticalEvaluator()
-        self.fine = fine if fine is not None else CycleSimEvaluator()
+        self.fine = fine if fine is not None else BatchedCycleSimEvaluator()
+        self.adaptive = bool(adaptive)
+        if not 0.0 <= band_slack < 1.0:
+            raise ValueError("band_slack must be in [0, 1)")
+        self.band_slack = float(band_slack)
 
     def __call__(self, workload, config, accel_kwargs):
         return self.fine(workload, config, accel_kwargs)
@@ -332,7 +581,7 @@ class HybridEvaluator:
 
 _BUILTIN_EVALUATORS = {
     "analytical": BatchedAnalyticalEvaluator,
-    "cycle": CycleSimEvaluator,
+    "cycle": BatchedCycleSimEvaluator,
     "hybrid": HybridEvaluator,
 }
 
@@ -343,9 +592,11 @@ def resolve_evaluator(spec) -> Evaluator:
     ``None`` means the analytical default; strings name a built-in
     (``"analytical"``, ``"cycle"``, ``"hybrid"``); anything callable is
     returned as-is.  ``"analytical"``/``None`` resolve to the
-    batch-capable :class:`BatchedAnalyticalEvaluator` (bit-identical to
-    :class:`AnalyticalEvaluator` point for point — pass an
-    ``AnalyticalEvaluator()`` instance to force per-point execution).
+    batch-capable :class:`BatchedAnalyticalEvaluator` and ``"cycle"`` to
+    :class:`BatchedCycleSimEvaluator` (each bit-identical to its
+    per-point base class point for point — pass an
+    ``AnalyticalEvaluator()`` / ``CycleSimEvaluator()`` instance to force
+    per-point execution).
     """
     if spec is None:
         return BatchedAnalyticalEvaluator()
@@ -382,14 +633,20 @@ def evaluator_spec(evaluator) -> dict:
         # One strategy, two execution modes: batched and per-point score
         # bit-identically, so they share the manifest spec.
         return {"name": "analytical"}
-    if kind is CycleSimEvaluator:
+    if kind is CycleSimEvaluator or kind is BatchedCycleSimEvaluator:
+        # Same sharing: existing "cycle" manifests stay valid and a
+        # batched shard produces the store a per-point shard would.
         return {"name": "cycle", "engine": evaluator.engine, "scan": evaluator.scan}
     if kind is HybridEvaluator:
-        return {
+        spec = {
             "name": "hybrid",
             "coarse": evaluator_spec(evaluator.coarse),
             "fine": evaluator_spec(evaluator.fine),
         }
+        if evaluator.adaptive:
+            spec["adaptive"] = True
+            spec["band_slack"] = evaluator.band_slack
+        return spec
     name = getattr(evaluator, "name", None) or kind.__qualname__
     return {"name": f"custom:{name}"}
 
@@ -408,7 +665,7 @@ def evaluator_from_spec(spec) -> Evaluator:
     if name == "analytical":
         return BatchedAnalyticalEvaluator()
     if name == "cycle":
-        return CycleSimEvaluator(
+        return BatchedCycleSimEvaluator(
             engine=spec.get("engine", "vectorized"), scan=spec.get("scan", "split")
         )
     if name == "hybrid":
@@ -417,6 +674,8 @@ def evaluator_from_spec(spec) -> Evaluator:
         return HybridEvaluator(
             coarse=evaluator_from_spec(coarse) if coarse else None,
             fine=evaluator_from_spec(fine) if fine else None,
+            adaptive=bool(spec.get("adaptive", False)),
+            band_slack=float(spec.get("band_slack", 0.25)),
         )
     raise ValueError(
         f"cannot reconstruct evaluator from spec {spec!r}; custom "
