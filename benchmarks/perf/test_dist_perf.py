@@ -31,6 +31,14 @@ def _shard_task(grid, shard, store, evaluator, spec):
                      workload_spec=spec)
 
 
+def _steal_task(grid, shard, store, evaluator, spec, steal, steal_chunk,
+                handicap):
+    """One elastic-fleet shard (workload read from the pool seed)."""
+    return run_shard(None, grid, shard, store, evaluator=evaluator,
+                     workload_spec=spec, steal=steal,
+                     steal_chunk=steal_chunk, handicap=handicap)
+
+
 def test_dist_shard_scaling(bench_recorder, bench_mode, tmp_path):
     full = bench_mode == "full"
     model = "deit-base" if full else "deit-tiny"
@@ -95,3 +103,88 @@ def test_dist_shard_scaling(bench_recorder, bench_mode, tmp_path):
             # Time-slicing one core cannot scale; only guard pathology
             # (store/merge overhead must not dominate the study).
             assert speedup >= 0.2, f"4 shards pathological: {speedup:.2f}x"
+
+
+def test_dist_work_stealing(bench_recorder, bench_mode, tmp_path):
+    """Elastic fleet vs static partitioning under a 4x straggler.
+
+    Four shard processes share a store; shard 4 is handicapped with an
+    artificial per-point sleep (the straggler).  The static fleet waits
+    for it; the elastic fleet (``steal=True``) drains its slice through
+    the idle shards' claim files.  The handicap is pure sleep, so the
+    stolen wall-clock parallelises even on a time-sliced single core —
+    but the ≥ 1.5x assertion still only arms with ≥ 4 real CPUs, where
+    pool spawn and evaluation don't serialise against the straggler.
+    """
+    full = bench_mode == "full"
+    model = "deit-tiny"
+    evaluator = "analytical"
+    if full:
+        grid = {"mac_lines": [16, 32, 64, 128],
+                "ae_compression": [None, 0.5],
+                "bandwidth_gbps": [19.2, 38.4, 76.8]}
+        handicap = 0.4
+    else:
+        grid = {"mac_lines": [16, 32], "ae_compression": [None, 0.5]}
+        handicap = 0.05
+    steal_chunk = 2
+    num_shards = 4
+    spec = model_workload_spec(model, sparsity=0.9)
+    workload = cached_model_workload(model, sparsity=0.9)
+    serial_points = sweep_design_space(workload, grid)
+
+    def run_fleet(steal):
+        store = tempfile.mkdtemp(dir=tmp_path)
+        with ProcessPoolExecutor(
+                max_workers=num_shards,
+                initializer=seed_worker_workload,
+                initargs=(workload,)) as pool:
+            futures = [
+                pool.submit(_steal_task, grid, f"{k}/{num_shards}", store,
+                            evaluator, spec, steal, steal_chunk,
+                            handicap if k == num_shards else 0.0)
+                for k in range(1, num_shards + 1)
+            ]
+            results = [future.result() for future in futures]
+        merged = merge_store(store)
+        # Stealing must never cost correctness: every fleet run (timed
+        # or not) reproduces the in-memory sweep bit for bit.
+        assert list(merged.points) == serial_points
+        return merged, results
+
+    # One untimed elastic run to record the stealing activity itself.
+    merged, results = run_fleet(steal=True)
+    stolen_points = sum(r.stolen for r in results)
+    straggler_evaluated = results[-1].evaluated
+
+    repeats = 3 if full else 1
+    static = benchit(lambda: run_fleet(False), name="static_fleet",
+                     repeats=repeats, warmup=0)
+    stealing = benchit(lambda: run_fleet(True), name="stealing_fleet",
+                       repeats=repeats, warmup=0)
+    speedup = static.best / stealing.best
+    cpus = os.cpu_count() or 1
+    bench_recorder.record(
+        "dist_work_stealing",
+        model=model,
+        evaluator=evaluator,
+        grid_points=len(serial_points),
+        num_shards=num_shards,
+        handicap_seconds=handicap,
+        steal_chunk=steal_chunk,
+        cpu_count=cpus,
+        stolen_points=stolen_points,
+        straggler_evaluated=straggler_evaluated,
+        merge_duplicates=merged.duplicates,
+        static=static.to_dict(),
+        stealing=stealing.to_dict(),
+        speedup_stealing=speedup,
+    )
+    if full:
+        if cpus >= 4:
+            assert speedup >= 1.5, \
+                f"stealing only {speedup:.2f}x on {cpus} CPUs"
+        else:
+            # A 1-CPU container time-slices the fleet; sleep still
+            # parallelises, so stealing should not *lose* badly.
+            assert speedup >= 0.5, f"stealing pathological: {speedup:.2f}x"

@@ -19,6 +19,13 @@ processes or hosts that share a store directory:
     python -m repro dse-shard --shard 3/3 --out store/ --evaluator cycle
     python -m repro dse-status store/
     python -m repro dse-merge store/ --json merged.json
+
+Heterogeneous fleets weight the partition and steal from stragglers
+(``--shard 1/3@4,1,1`` gives shard 1 four grid points for every one the
+others own; ``--steal`` makes a finished shard claim and evaluate
+missing indices of slower shards — see :mod:`repro.dist`):
+
+    python -m repro dse-shard --shard 1/3@4,1,1 --out store/ --steal
 """
 
 from __future__ import annotations
@@ -130,12 +137,32 @@ def build_parser():
                         help="dse/dse-shard: force per-point evaluation "
                              "(the batched analytical path is bit-identical"
                              "; this is the reference escape hatch)")
-    parser.add_argument("--shard", metavar="K/N", default=None,
+    parser.add_argument("--shard", metavar="K/N[@W]", default=None,
                         help="dse-shard: which shard of an N-way "
-                             "partition this process evaluates")
+                             "partition this process evaluates; append "
+                             "@w1,...,wN (or @W: this shard weighs W, "
+                             "peers 1) for a weight-proportional slice")
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="dse-shard: result-store directory (shared "
                              "by every shard of the study)")
+    parser.add_argument("--steal", action="store_true",
+                        help="dse-shard: after finishing its own slice, "
+                             "claim and evaluate missing indices of "
+                             "slower shards (duplicate-tolerant merge "
+                             "keeps results bit-identical)")
+    parser.add_argument("--steal-chunk", type=int, default=None, metavar="N",
+                        help="dse-shard: indices claimed per steal range "
+                             "(default 16)")
+    parser.add_argument("--claim-ttl", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="dse-shard: age after which an abandoned "
+                             "steal claim may be taken over (default "
+                             "600; <=0 ignores existing claims)")
+    parser.add_argument("--handicap", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="dse-shard: sleep this long per recorded "
+                             "point (an artificial straggler for "
+                             "stealing tests and benchmarks)")
     return parser
 
 
@@ -355,6 +382,16 @@ def _run(args):
         if not out:
             raise SystemExit("dse-shard requires --out DIR (the store "
                              "directory shared by every shard)")
+        if args.steal_chunk is not None and args.steal_chunk < 1:
+            raise SystemExit(
+                f"--steal-chunk must be a positive index count, got "
+                f"{args.steal_chunk}"
+            )
+        if args.handicap < 0:
+            raise SystemExit(
+                f"--handicap must be non-negative seconds, got "
+                f"{args.handicap}"
+            )
         model = args.models[0] if args.models else "deit-tiny"
         grid = parse_grid(args.grid)
         workload = cached_model_workload(model, sparsity=args.sparsity)
@@ -363,10 +400,15 @@ def _run(args):
             evaluator=_cli_evaluator(args.evaluator, args.no_batch),
             n_jobs=args.n_jobs, chunksize=args.batch_size,
             workload_spec=model_workload_spec(model, sparsity=args.sparsity),
+            steal=args.steal, steal_chunk=args.steal_chunk,
+            claim_ttl=args.claim_ttl, handicap=args.handicap,
         )
-        print(f"shard {run.shard}: {run.evaluated} evaluated, "
-              f"{run.skipped} already in store, {run.failed} failed "
-              f"({run.total} grid points owned)")
+        line = (f"shard {run.shard}: {run.evaluated} evaluated, "
+                f"{run.skipped} already in store, {run.failed} failed "
+                f"({run.total} grid points owned)")
+        if args.steal:
+            line += f"; {run.stolen} stolen from other shards"
+        print(line)
         print(f"store: {run.store}")
         return {
             "shard": str(run.shard),
@@ -375,6 +417,7 @@ def _run(args):
             "evaluated": run.evaluated,
             "skipped": run.skipped,
             "failed": run.failed,
+            "stolen": run.stolen,
             "complete": run.complete,
         }
 
@@ -386,9 +429,13 @@ def _run(args):
         merged = merge_store(store, n_jobs=args.n_jobs)
         manifest = merged.manifest
         workload_spec = manifest.get("workload", {})
-        print(f"merged {manifest['num_shards']} shards "
-              f"({manifest['grid_size']} grid points, {merged.dropped} "
-              "dropped)")
+        line = (f"merged {manifest['num_shards']} shards "
+                f"({manifest['grid_size']} grid points, {merged.dropped} "
+                "dropped)")
+        if merged.duplicates:
+            line += (f"; {merged.duplicates} redundant duplicate records "
+                     "tolerated (bit-identical)")
+        print(line)
         return _dse_result(
             workload_spec.get("model"),
             workload_spec.get("sparsity"),
@@ -404,13 +451,18 @@ def _run(args):
             raise SystemExit("dse-status requires a store directory")
         status = store_status(store)
         print(harness.format_table(
-            ["shard", "done", "failed", "pending", "total", "done%", "eta"],
-            [[str(s.shard), s.done, s.failed, s.pending, s.total,
-              f"{s.fraction_done:.0%}", _format_eta(s.eta_seconds)]
+            ["shard", "scored", "failed", "stolen", "steals", "pending",
+             "total", "done%", "ok%", "eta"],
+            [[str(s.shard), s.scored, s.failed, s.stolen, s.steals,
+              s.pending, s.total, f"{s.fraction_done:.0%}",
+              f"{s.fraction_scored:.0%}", _format_eta(s.eta_seconds)]
              for s in status.shards],
         ))
         line = (f"\n{status.done}/{status.grid_size} grid points done "
-                f"({status.fraction_done:.0%}), {status.failed} failed")
+                f"({status.fraction_done:.0%}), {status.scored} scored, "
+                f"{status.failed} failed")
+        if status.stolen:
+            line += f", {status.stolen} stolen"
         if not status.complete:
             line += f"; ETA {_format_eta(status.eta_seconds)}"
         if status.manifest["evaluator"].get("name") == "hybrid":
@@ -419,15 +471,22 @@ def _run(args):
         return {
             "grid_size": status.grid_size,
             "done": status.done,
+            "scored": status.scored,
             "failed": status.failed,
+            "stolen": status.stolen,
+            "steals": status.steals,
             "fraction_done": status.fraction_done,
+            "fraction_scored": status.fraction_scored,
             "eta_seconds": status.eta_seconds,
             "complete": status.complete,
             "fine_records": status.fine_records,
             "shards": [
                 {"shard": str(s.shard), "done": s.done,
-                 "failed": s.failed, "total": s.total,
+                 "scored": s.scored, "failed": s.failed,
+                 "stolen": s.stolen, "steals": s.steals,
+                 "total": s.total,
                  "fraction_done": s.fraction_done,
+                 "fraction_scored": s.fraction_scored,
                  "eta_seconds": s.eta_seconds}
                 for s in status.shards
             ],

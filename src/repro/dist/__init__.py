@@ -9,21 +9,30 @@ restartable *pipeline* over durable artifacts instead:
    :mod:`repro.harness.dse` is the partition key: shard ``K/N`` owns a
    fixed, stateless index set (:mod:`repro.dist.sharding`), so any mix
    of hosts/processes can each run ``python -m repro dse-shard --shard
-   K/N --out store/`` against a shared directory with no coordinator;
+   K/N --out store/`` against a shared directory with no coordinator.
+   Heterogeneous fleets weight the partition (``--shard K/N@w1,...,wN``
+   — a 64-core box owns proportionally more of the grid than a laptop);
 2. **persist** — every evaluated point becomes one JSONL completion
    record in the store (:mod:`repro.dist.store`): append-only, flushed
    per point, tolerant of a killed writer's truncated last line.
    Re-running a shard skips every index already recorded — checkpoint /
    resume for free;
-3. **merge** — ``dse-merge store/`` verifies the shards tiled the grid
-   exactly once and reconstructs the single-process
+3. **steal** — with ``--steal``, a shard that exhausts its own slice
+   claims missing indices of slower shards (advisory per-range claim
+   files, crash-safe: abandoned claims expire) and evaluates them into
+   its own steal file, so the fleet's wall-clock tracks aggregate
+   throughput instead of the slowest member (:mod:`repro.dist.runner`);
+4. **merge** — ``dse-merge store/`` verifies the shards covered the
+   grid (duplicates tolerated only when bit-identical, so stealing
+   never compromises correctness) and reconstructs the single-process
    :func:`~repro.harness.dse.sweep_design_space` output **bit for bit**
    (points, grid ordering, Pareto frontier) for the analytical, cycle
    and hybrid evaluators — hybrid studies shard the cheap coarse phase
    and the merge host re-scores the surviving frontier, resumably
    (:mod:`repro.dist.merge`);
-4. **observe** — ``dse-status store/`` reports per-shard progress
-   without touching an evaluator.
+5. **observe** — ``dse-status store/`` reports per-shard progress
+   (scored vs failed records, stolen-index counts, owed-after-stealing
+   ETA) without touching an evaluator.
 
 The same machinery scales *down* to one box: N local processes sharding
 one store are how the shard-scaling benchmark

@@ -1,14 +1,24 @@
 """Fold sharded result stores back into single-process sweep output.
 
-:func:`merge_store` reads every shard file of a store, verifies the
-partition actually covered the grid (each index exactly once — a missing
-or double-counted point is an error, not a silent gap), and reconstructs
-the exact output of :func:`repro.harness.dse.sweep_design_space` on the
-same grid: the full :class:`~repro.harness.dse.DesignPoint` table in
-deterministic grid order and its Pareto frontier, **bit for bit** —
-records round-trip through JSON's shortest-repr floats, failures are
-dropped with the same :class:`RuntimeWarning` the in-memory sweep emits,
-and frontier construction sees points in the same (grid) order.
+:func:`merge_store` reads every shard file of a store — including the
+``steal-*.jsonl`` files work-stealing shards write — verifies the
+partition actually covered the grid (a missing point is an error, not a
+silent gap), and reconstructs the exact output of
+:func:`repro.harness.dse.sweep_design_space` on the same grid: the full
+:class:`~repro.harness.dse.DesignPoint` table in deterministic grid
+order and its Pareto frontier, **bit for bit** — records round-trip
+through JSON's shortest-repr floats, failures are dropped with the same
+:class:`RuntimeWarning` the in-memory sweep emits, and frontier
+construction sees points in the same (grid) order.
+
+Work-stealing makes duplicates possible (claims are advisory), so the
+merge is *duplicate-tolerant rather than exactly-once*: an index may
+appear in several files as long as every copy carries the same payload
+(the record minus its wall-clock timestamp — all built-in evaluators are
+deterministic, so honest duplicates are bit-identical).  Conflicting
+copies mean a non-deterministic evaluator or mixed studies and fail
+loudly.  Ownership stays checked: a shard file may only hold its own
+indices, a steal file only *other* shards' indices.
 
 Hybrid studies shard their cheap *coarse* phase; the expensive fine
 re-score of the surviving frontier happens here, on the merge host, with
@@ -17,7 +27,9 @@ the same resume machinery shards use (survivor records accumulate in
 survivors).
 
 :func:`store_status` is the monitoring companion: per-shard completion
-counts without touching any evaluator.
+counts — scored vs persisted-failure records, stolen-index counts, and
+an ETA over the work each shard still *owes after stealing* — without
+touching any evaluator.
 """
 
 from __future__ import annotations
@@ -48,6 +60,7 @@ from .store import (
     config_from_dict,
     decode_record,
     encode_record,
+    record_payload,
 )
 
 __all__ = [
@@ -67,6 +80,7 @@ class MergeResult:
     frontier: Tuple[DesignPoint, ...]  # pareto_frontier(points)
     manifest: dict
     dropped: int  # failure records dropped (mirrors the sweep's warns)
+    duplicates: int = 0  # redundant payload-identical records tolerated
 
 
 def _drop_failure(index, failure: PointFailure):
@@ -79,33 +93,66 @@ def _drop_failure(index, failure: PointFailure):
     )
 
 
-def _load_merged_records(store: ResultStore, manifest: dict) -> dict:
+def _shard_spec(manifest: dict, shard_index: int) -> ShardSpec:
+    """The store's shard ``shard_index``, honouring manifest weights."""
+    weights = manifest.get("weights")
+    return ShardSpec(
+        shard_index,
+        manifest["num_shards"],
+        weights=tuple(int(weight) for weight in weights) if weights else None,
+    )
+
+
+def _load_merged_records(store: ResultStore, manifest: dict):
     """Every shard's records as one ``index -> record`` map, verified.
 
-    Checks the three partition invariants: all files belong to this
-    store's ``N``-way partition, no index appears in two shards, and no
-    index is missing — the definition of "the shards covered the grid
-    exactly once".
+    Returns ``(records, duplicates)``.  Checks the partition invariants:
+    all files belong to this store's ``N``-way partition, a shard file
+    holds only indices the (possibly weighted) shard owns, a steal file
+    holds only in-range indices its shard does *not* own, and no index
+    is missing.  An index recorded more than once is tolerated when
+    every copy has the same payload (timestamp aside) and counted in
+    ``duplicates``; conflicting copies raise :class:`StoreCorruptError`.
     """
     num_shards = manifest["num_shards"]
     size = manifest["grid_size"]
     records: dict = {}
-    for shard_index, shard_count, path in store.shard_files():
+    duplicates = 0
+    sources = [
+        (index, count, path, False) for index, count, path in store.shard_files()
+    ] + [(index, count, path, True) for index, count, path in store.steal_files()]
+    for shard_index, shard_count, path, is_steal in sources:
         if shard_count != num_shards:
             raise StoreMismatchError(
                 f"{path.name} belongs to a /{shard_count} partition but "
                 f"the store was created for /{num_shards}"
             )
-        owned = set(ShardSpec(shard_index, shard_count).indices(size))
+        owned = set(_shard_spec(manifest, shard_index).indices(size))
         for index, record in store.load_records(path).items():
-            if index not in owned:
+            if is_steal and index in owned:
+                raise StoreCorruptError(
+                    f"{path.name} holds grid index {index}, which shard "
+                    f"{shard_index}/{shard_count} owns outright — steal "
+                    "files may only cover other shards' indices"
+                )
+            if is_steal and not 0 <= index < size:
+                raise StoreCorruptError(
+                    f"{path.name} holds grid index {index}, outside the "
+                    f"{size}-point grid"
+                )
+            if not is_steal and index not in owned:
                 raise StoreCorruptError(
                     f"{path.name} holds grid index {index}, which shard "
                     f"{shard_index}/{shard_count} does not own"
                 )
             if index in records:
+                if record_payload(records[index]) == record_payload(record):
+                    duplicates += 1
+                    continue
                 raise StoreCorruptError(
-                    f"grid index {index} appears in multiple shard files"
+                    f"grid index {index} appears in multiple files with "
+                    "conflicting results — the evaluator is not "
+                    "deterministic, or the store mixes studies"
                 )
             records[index] = record
     if len(records) < size:
@@ -115,7 +162,7 @@ def _load_merged_records(store: ResultStore, manifest: dict) -> dict:
             f"({missing} missing); run the remaining shards "
             "(see `python -m repro dse-status`)"
         )
-    return records
+    return records, duplicates
 
 
 def merge_store(store, workload=None, evaluator=None, n_jobs: int = 1) -> MergeResult:
@@ -135,7 +182,7 @@ def merge_store(store, workload=None, evaluator=None, n_jobs: int = 1) -> MergeR
     """
     store = ResultStore(store)
     manifest = store.read_manifest()
-    records = _load_merged_records(store, manifest)
+    records, duplicates = _load_merged_records(store, manifest)
 
     pairs = []  # (grid_index, DesignPoint) with failures dropped
     dropped = 0
@@ -161,6 +208,7 @@ def merge_store(store, workload=None, evaluator=None, n_jobs: int = 1) -> MergeR
         frontier=tuple(pareto_frontier(points)),
         manifest=manifest,
         dropped=dropped,
+        duplicates=duplicates,
     )
 
 
@@ -248,24 +296,45 @@ def _fine_rescore(store, manifest, pairs, workload, evaluator, n_jobs):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ShardStatus:
-    """Progress of one shard (a shard with no file yet reads all-pending)."""
+    """Progress of one shard (a shard with no file yet reads all-pending).
+
+    ``done`` counts *owned indices recorded anywhere* — in this shard's
+    own file or in another shard's steal file — because a stolen point
+    is work this shard no longer owes.  ``failed`` splits out the
+    persisted-failure records among them (``scored = done - failed``),
+    so a shard full of deterministic evaluator failures no longer reads
+    as healthy throughput.  ``stolen`` is how many of this shard's
+    indices only a stealer covers; ``steals`` is how many records this
+    shard stole *from others* (its own steal file).
+    """
 
     shard: ShardSpec
     total: int
-    done: int  # completion records present (scored + failed)
+    done: int  # owned indices recorded anywhere (scored + failed)
     failed: int
+    stolen: int = 0  # owned indices covered only by other shards' steal files
+    steals: int = 0  # records this shard stole from other shards
     #: Seconds until this shard finishes at its observed throughput
     #: (record timestamps), ``0.0`` when complete, ``None`` when the
     #: shard has too few timestamped records to estimate a rate.
     eta_seconds: float = None
 
     @property
+    def scored(self) -> int:
+        return self.done - self.failed
+
+    @property
     def pending(self) -> int:
+        """Indices this shard still owes *after* stealing is netted out."""
         return self.total - self.done
 
     @property
     def fraction_done(self) -> float:
         return self.done / self.total if self.total else 1.0
+
+    @property
+    def fraction_scored(self) -> float:
+        return self.scored / self.total if self.total else 1.0
 
     @property
     def complete(self) -> bool:
@@ -293,8 +362,24 @@ class StoreStatus:
         return sum(s.failed for s in self.shards)
 
     @property
+    def scored(self) -> int:
+        return sum(s.scored for s in self.shards)
+
+    @property
+    def stolen(self) -> int:
+        return sum(s.stolen for s in self.shards)
+
+    @property
+    def steals(self) -> int:
+        return sum(s.steals for s in self.shards)
+
+    @property
     def fraction_done(self) -> float:
         return self.done / self.grid_size if self.grid_size else 1.0
+
+    @property
+    def fraction_scored(self) -> float:
+        return self.scored / self.grid_size if self.grid_size else 1.0
 
     @property
     def complete(self) -> bool:
@@ -311,23 +396,22 @@ class StoreStatus:
         return max(etas, default=0.0)
 
 
-def _shard_eta(records, owned, pending) -> float:
+def _shard_eta(stamps, pending) -> float:
     """ETA of one shard from its completion-record timestamps.
 
-    The observed rate is ``(records - 1) / (newest - oldest)`` over this
-    shard's timestamped records — resume-friendly (gaps between runs
-    flatten the rate estimate rather than breaking it) and free of any
-    clock-synchronisation assumption across hosts, since only one
-    shard's own timestamps are ever compared.  Returns ``0.0`` for a
-    complete shard and ``None`` below two distinct timestamps (no rate
-    observable yet).
+    The observed rate is ``(stamps - 1) / (newest - oldest)`` over the
+    records this shard itself wrote (own file plus its steal file) —
+    resume-friendly (gaps between runs flatten the rate estimate rather
+    than breaking it) and free of any clock-synchronisation assumption
+    across hosts, since only one host's timestamps are ever compared.
+    ``pending`` is the work owed *after* stealing, so a straggler whose
+    slice is being drained by the fleet sees its ETA fall accordingly.
+    Returns ``0.0`` for a complete shard and ``None`` below two distinct
+    timestamps (no rate observable yet).
     """
     if pending <= 0:
         return 0.0
-    stamps = sorted(
-        float(record["t"]) for index, record in records.items()
-        if index in owned and "t" in record
-    )
+    stamps = sorted(stamps)
     if len(stamps) < 2 or stamps[-1] <= stamps[0]:
         return None
     rate = (len(stamps) - 1) / (stamps[-1] - stamps[0])
@@ -337,31 +421,48 @@ def _shard_eta(records, owned, pending) -> float:
 def store_status(store) -> StoreStatus:
     """Inspect a store's progress without evaluating anything.
 
-    Besides per-shard completion counts, each :class:`ShardStatus`
-    carries an ``eta_seconds`` derived from its completion-record
-    timestamps (see :func:`_shard_eta`); stores written before records
-    carried timestamps simply report ``None``.
+    Besides per-shard completion counts (see :class:`ShardStatus` for
+    the stolen/steals accounting), each shard carries an ``eta_seconds``
+    derived from its completion-record timestamps (see
+    :func:`_shard_eta`); stores written before records carried
+    timestamps simply report ``None``.
     """
     store = ResultStore(store)
     manifest = store.read_manifest()
     size = manifest["grid_size"]
+    num_shards = manifest["num_shards"]
+    own_records = {}
+    steal_records = {}
+    for k in range(1, num_shards + 1):
+        shard = _shard_spec(manifest, k)
+        own_records[k] = store.load_records(store.shard_path(shard))
+        steal_records[k] = store.load_records(store.steal_path(shard))
+    covered: dict = {}
+    for records in list(own_records.values()) + list(steal_records.values()):
+        for index, record in records.items():
+            covered.setdefault(index, record)
     statuses = []
-    for k in range(1, manifest["num_shards"] + 1):
-        shard = ShardSpec(k, manifest["num_shards"])
-        records = store.load_records(store.shard_path(shard))
+    for k in range(1, num_shards + 1):
+        shard = _shard_spec(manifest, k)
         owned = set(shard.indices(size))
-        done = sum(1 for index in records if index in owned)
-        failed = sum(
-            1
-            for index, record in records.items()
-            if index in owned and "err" in record
-        )
+        done_records = {
+            index: record for index, record in covered.items() if index in owned
+        }
+        done = len(done_records)
+        stamps = [
+            float(record["t"])
+            for records in (own_records[k], steal_records[k])
+            for record in records.values()
+            if "t" in record
+        ]
         status = ShardStatus(
             shard=shard,
             total=len(owned),
             done=done,
-            failed=failed,
-            eta_seconds=_shard_eta(records, owned, len(owned) - done),
+            failed=sum(1 for record in done_records.values() if "err" in record),
+            stolen=sum(1 for index in done_records if index not in own_records[k]),
+            steals=len(steal_records[k]),
+            eta_seconds=_shard_eta(stamps, len(owned) - done),
         )
         statuses.append(status)
     fine = len(store.load_records(store.fine_path))

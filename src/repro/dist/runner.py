@@ -13,6 +13,22 @@ per point.  Killing the process at any moment loses at most the chunk in
 flight (one point, for per-point evaluators); re-running the same command
 finishes the shard.
 
+**Work-stealing** (``steal=True``) makes the fleet elastic: a shard that
+exhausts its own index set computes which indices the store still owes —
+the records themselves are the ledger, no coordinator needed — and
+claims batches of a slower shard's missing work through advisory
+per-range claim files (atomic ``O_EXCL`` creation; abandoned claims
+expire after ``claim_ttl`` seconds).  Stolen completions append to the
+stealer's own ``steal-K-of-N.jsonl`` file, so the one-writer-per-file
+contract holds, and victims periodically re-scan steal coverage to skip
+work someone else already finished.  Claims are *advisory*: two shards
+racing on the same index at worst evaluate it twice, and because
+evaluation is deterministic the duplicate records are bit-identical
+(modulo timestamp) and the merge tolerates them.  A shard killed
+mid-steal leaves at most a torn last line (repaired on resume) and an
+unreleased claim (expired after the TTL) — the store stays mergeable
+once any shard finishes the range.
+
 Workload recipes (`workload spec` dicts) make stores portable across
 hosts: instead of pickling a workload, the manifest records *how to build
 it* (model name, sparsity, seed, ...), and every host reconstructs it
@@ -24,6 +40,9 @@ exact workload for hybrid fine re-scoring.
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -41,6 +60,22 @@ __all__ = [
     "workload_from_spec",
     "workload_fingerprint",
 ]
+
+#: Grid indices claimed per steal batch: small enough that several
+#: stealers share one straggler's backlog, large enough that
+#: batch-capable evaluators still amortise their array walk.
+_STEAL_CHUNK = 16
+
+#: Seconds between re-scans of the store's steal files while a shard
+#: works its own slice — the cadence at which a straggler notices that a
+#: stealer already finished some of its indices and stops re-evaluating
+#: them.
+_COVERAGE_REFRESH_S = 0.5
+
+#: Seconds before an unreleased claim file counts as abandoned (its
+#: owner crashed or was preempted) and may be re-claimed.  ``<= 0``
+#: disables the courtesy entirely: existing claims are ignored.
+_CLAIM_TTL_S = 600.0
 
 
 def workload_fingerprint(workload) -> str:
@@ -123,12 +158,185 @@ class ShardRunResult:
     path: Path  # this shard's JSONL file
     total: int  # grid points owned by the shard
     evaluated: int  # scored by THIS run
-    skipped: int  # already in the store (resume)
+    skipped: int  # already recorded (resume, or stolen by another shard)
     failed: int  # failure records now in the shard file
+    stolen: int = 0  # other shards' points THIS run claimed and recorded
 
     @property
     def complete(self) -> bool:
         return self.evaluated + self.skipped == self.total
+
+
+# ----------------------------------------------------------------------
+# Work-stealing: owed indices, advisory claims, steal coverage
+# ----------------------------------------------------------------------
+def _recorded_indices(store: ResultStore) -> set:
+    """Every grid index any shard or steal file holds a record for."""
+    recorded = set()
+    for _, _, path in store.shard_files():
+        recorded.update(store.load_records(path))
+    for _, _, path in store.steal_files():
+        recorded.update(store.load_records(path))
+    return recorded
+
+
+def _owed_indices(size: int, shard: ShardSpec, recorded) -> list:
+    """Grid indices still missing from the store that ``shard`` may steal.
+
+    Pure set arithmetic so the invariant is property-testable: the owed
+    set never overlaps the shard's own indices (a shard's own slice is
+    its primary job, never "stolen" from itself) and together with the
+    shard's own slice and the recorded set it covers the whole grid.
+    """
+    own = set(shard.indices(size))
+    return [index for index in range(size) if index not in recorded and index not in own]
+
+
+def _steal_batches(owed, chunk):
+    """Deterministic contiguous batches of the sorted owed index list.
+
+    Determinism is what bounds redundancy: two stealers looking at the
+    same store state compute the same batches, so the claim files (named
+    after each batch's index range) serialise them instead of letting
+    both evaluate everything.
+    """
+    for start in range(0, len(owed), chunk):
+        yield owed[start : start + chunk]
+
+
+def _claim_path(store: ResultStore, batch) -> Path:
+    return store.claims_dir / f"steal-{batch[0]:08d}-{batch[-1]:08d}.claim"
+
+
+def _try_claim(path: Path, shard, ttl: float) -> bool:
+    """Atomically claim a steal range, honouring unexpired prior claims.
+
+    ``O_CREAT | O_EXCL`` makes first-creation atomic on a shared
+    directory; an existing claim younger than ``ttl`` seconds (by file
+    mtime) is respected, an older one is considered abandoned and taken
+    over (atomic replace, last writer wins).  Claims are *advisory*: a
+    lost race means redundant — never wrong — work, because the merge
+    tolerates bit-identical duplicates.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps({"shard": str(shard), "t": time.time()})
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            # The owner released it between our open and stat: treat the
+            # range as handled and move on.
+            return False
+        if ttl > 0 and age <= ttl:
+            return False
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(payload + "\n")
+        os.replace(tmp, path)
+        return True
+    with os.fdopen(fd, "w") as fh:
+        fh.write(payload + "\n")
+    return True
+
+
+def _release_claim(path: Path):
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+class _StealCoverage:
+    """Time-bounded view of the grid indices steal files already cover.
+
+    A straggler consults this before recording each of its own points:
+    if a stealer already persisted the index, the point is skipped (the
+    record exists, re-recording it would only add a tolerated duplicate
+    and waste the straggler's time).  Re-scanning the steal files on
+    every point would hammer the (possibly networked) store, so scans
+    are rate-limited to one per ``refresh_s`` seconds.
+    """
+
+    def __init__(self, store, shard, refresh_s=_COVERAGE_REFRESH_S):
+        self._store = store
+        self._own = (shard.index, shard.count)
+        self._refresh_s = refresh_s
+        self._covered = set()
+        self._last = None
+
+    def refresh(self) -> set:
+        covered = set()
+        for shard_index, shard_count, path in self._store.steal_files():
+            if (shard_index, shard_count) == self._own:
+                continue
+            covered.update(self._store.load_records(path))
+        self._covered = covered
+        self._last = time.monotonic()
+        return covered
+
+    def covered(self, index) -> bool:
+        if self._last is None or time.monotonic() - self._last >= self._refresh_s:
+            self.refresh()
+        return index in self._covered
+
+
+def _steal_missing(
+    workload,
+    grid,
+    shard,
+    store,
+    base_config,
+    evaluator,
+    n_jobs,
+    chunksize,
+    steal_chunk,
+    claim_ttl,
+    handicap,
+) -> int:
+    """Claim and evaluate grid indices slower shards still owe.
+
+    Loops until the store owes nothing this shard can claim: each round
+    re-reads the ledger (other shards and stealers make progress
+    concurrently), carves the owed indices into deterministic batches,
+    and evaluates every batch it wins the claim for — batch-dispatched
+    through the same chunk path as owned work, one durable record per
+    point in this shard's steal file.  Exits without waiting when every
+    remaining owed range is claimed by a live stealer; if that stealer
+    dies, its claim expires and any later ``steal=True`` run finishes
+    the range.
+    """
+    size = grid_size(grid)
+    stolen = 0
+    with JsonlAppender(store.steal_path(shard)) as out:
+        while True:
+            owed = _owed_indices(size, shard, _recorded_indices(store))
+            if not owed:
+                break
+            progressed = False
+            for batch in _steal_batches(owed, steal_chunk):
+                claim = _claim_path(store, batch)
+                if not _try_claim(claim, shard, claim_ttl):
+                    continue
+                for index, result in iter_indexed_design_points(
+                    workload,
+                    grid,
+                    batch,
+                    base_config=base_config,
+                    n_jobs=n_jobs,
+                    chunksize=chunksize,
+                    evaluator=evaluator,
+                    keep_failures=True,
+                ):
+                    if handicap:
+                        time.sleep(handicap)
+                    out.append(encode_record(index, result))
+                    stolen += 1
+                _release_claim(claim)
+                progressed = True
+            if not progressed:
+                break
+    return stolen
 
 
 def run_shard(
@@ -141,6 +349,10 @@ def run_shard(
     n_jobs=1,
     chunksize=None,
     workload_spec=None,
+    steal=False,
+    steal_chunk=None,
+    claim_ttl=_CLAIM_TTL_S,
+    handicap=0.0,
 ) -> ShardRunResult:
     """Evaluate shard ``K/N`` of ``grid`` into a durable result store.
 
@@ -148,7 +360,21 @@ def run_shard(
     existing completion records, and evaluates **only the missing
     indices** — re-running after a crash, preemption or deliberate kill
     picks up where the file ends.  Each completed point (or captured
-    evaluator failure) is appended and flushed immediately.
+    evaluator failure) is appended and flushed immediately.  Indices a
+    stealer's ``steal-*.jsonl`` file already covers are skipped too (and
+    re-checked periodically while running), so a straggler stops
+    re-evaluating work the fleet already finished.
+
+    ``shard`` accepts weighted spellings (``"2/3@4,1,1"``, see
+    :meth:`ShardSpec.parse`); a shard launched without weights against a
+    weighted store adopts the manifest's vector, and a conflicting
+    vector fails loudly.  ``steal=True`` adds a steal phase after the
+    own slice completes: missing indices of slower shards are claimed in
+    ``steal_chunk``-sized ranges (advisory claim files under
+    ``claims/``, abandoned ones expire after ``claim_ttl`` seconds) and
+    evaluated into this shard's steal file — see :func:`_steal_missing`.
+    ``handicap`` sleeps that many seconds per recorded point (an
+    artificial straggler for stealing tests and benchmarks).
 
     ``workload=None`` uses the workload a pool initializer seeded into
     this process (:func:`repro.perf.seed_worker_workload`), mirroring the
@@ -184,18 +410,46 @@ def run_shard(
         workload_spec = {"kind": "opaque"}
     workload_spec = {**workload_spec, "fingerprint": workload_fingerprint(workload)}
     store = ResultStore(store)
+    existing = store.read_manifest(missing_ok=True)
+    if shard.weights is None and existing and existing.get("weights"):
+        # A weighted store pins its vector: unweighted launch commands
+        # inherit it, so only the host that creates the study needs the
+        # full spelling.
+        shard = ShardSpec(
+            shard.index,
+            shard.count,
+            weights=tuple(int(weight) for weight in existing["weights"]),
+        )
     store.ensure_manifest(
-        build_manifest(grid, shard.count, evaluator, base_config, workload_spec)
+        build_manifest(
+            grid,
+            shard.count,
+            evaluator,
+            base_config,
+            workload_spec,
+            weights=shard.weights,
+        )
     )
     path = store.shard_path(shard)
+    size = grid_size(grid)
     done = store.load_records(path)
-    owned = shard.indices(grid_size(grid))
-    todo = [index for index in owned if index not in done]
+    coverage = _StealCoverage(store, shard)
+    covered = coverage.refresh()
+    owned = shard.indices(size)
+    todo = [index for index in owned if index not in done and index not in covered]
     failed = sum(1 for record in done.values() if "err" in record)
+    evaluated = 0
+
+    def pending():
+        for index in todo:
+            if coverage.covered(index):
+                continue
+            yield index
+
     stream = iter_indexed_design_points(
         workload,
         grid,
-        todo,
+        pending(),
         base_config=base_config,
         n_jobs=n_jobs,
         chunksize=chunksize,
@@ -204,15 +458,40 @@ def run_shard(
     )
     with JsonlAppender(path) as out:
         for index, result in stream:
+            if coverage.covered(index):
+                # A stealer persisted this index while its chunk was in
+                # flight; recording it again would only add a tolerated
+                # duplicate.
+                continue
+            if handicap:
+                time.sleep(handicap)
             out.append(encode_record(index, result))
+            evaluated += 1
             if isinstance(result, PointFailure):
                 failed += 1
+
+    stolen = 0
+    if steal:
+        stolen = _steal_missing(
+            workload,
+            grid,
+            shard,
+            store,
+            base_config,
+            point_evaluator,
+            n_jobs,
+            chunksize,
+            steal_chunk or _STEAL_CHUNK,
+            claim_ttl,
+            handicap,
+        )
     return ShardRunResult(
         shard=shard,
         store=store.root,
         path=path,
         total=len(owned),
-        evaluated=len(todo),
-        skipped=len(owned) - len(todo),
+        evaluated=evaluated,
+        skipped=len(owned) - evaluated,
         failed=failed,
+        stolen=stolen,
     )

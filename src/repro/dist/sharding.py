@@ -16,21 +16,40 @@ owns exactly the indices ``K-1, K-1+N, K-1+2N, ...``.  The partition is
 
 Shards are written ``K/N`` with ``K`` in ``1..N`` (the CLI spelling:
 ``python -m repro dse-shard --shard 2/3``).
+
+**Weighted partitions** let heterogeneous hosts own proportional slices:
+with integer weights ``w_1..w_N`` (``--shard K/N@w1,...,wN``, or
+``K/N@W`` as shorthand for "this shard weighs ``W``, everyone else 1"),
+shard ``K`` owns the grid indices whose residue modulo ``sum(w)`` falls
+in its contiguous block of ``w_K`` residues.  A 64-core box declared at
+weight 4 owns four grid points for every one a laptop owns, the tiling
+stays complete, disjoint and stateless (property-tested, including
+zero-weight shards, which own nothing and act as pure work-stealers),
+and all-equal weight vectors normalise to the unweighted strided layout
+so uniform studies keep their historical partition byte for byte.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 __all__ = ["ShardSpec", "shard_indices"]
 
 
 @dataclass(frozen=True)
 class ShardSpec:
-    """One shard of an ``N``-way partition: ``index`` is 1-based."""
+    """One shard of an ``N``-way partition: ``index`` is 1-based.
+
+    ``weights`` — one non-negative integer share per shard — makes the
+    partition weight-proportional (``None`` means uniform).  All-equal
+    vectors are normalised to ``None`` at construction, so two specs
+    that tile identically compare equal and serialise identically.
+    """
 
     index: int
     count: int
+    weights: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self):
         if self.count < 1:
@@ -39,33 +58,102 @@ class ShardSpec:
             raise ValueError(
                 f"shard index must be in 1..{self.count}, got {self.index}"
             )
+        if self.weights is not None:
+            weights = tuple(self.weights)
+            if len(weights) != self.count:
+                raise ValueError(
+                    f"weights must list one share per shard: got "
+                    f"{len(weights)} weights for {self.count} shards"
+                )
+            for weight in weights:
+                if not isinstance(weight, int) or isinstance(weight, bool):
+                    raise ValueError(
+                        f"shard weights must be integers, got {weight!r}"
+                    )
+                if weight < 0:
+                    raise ValueError(
+                        f"shard weights must be non-negative, got {weight}"
+                    )
+            if sum(weights) == 0:
+                raise ValueError("at least one shard weight must be positive")
+            # An all-equal vector tiles exactly like the uniform strided
+            # partition modulo residue layout; canonicalise it to None so
+            # uniform studies keep the historical (and manifest-compatible)
+            # K-1 + j*N index sets.
+            if len(set(weights)) == 1:
+                weights = None
+            object.__setattr__(self, "weights", weights)
+
+    @property
+    def weight(self) -> int:
+        """This shard's share of the grid (1 under a uniform partition)."""
+        return 1 if self.weights is None else self.weights[self.index - 1]
 
     @classmethod
     def parse(cls, text) -> "ShardSpec":
-        """Parse the ``K/N`` spelling (``"2/3"`` -> shard 2 of 3)."""
+        """Parse the ``K/N[@weights]`` spelling.
+
+        ``"2/3"`` -> shard 2 of 3 (uniform); ``"2/3@4,1,1"`` -> the full
+        weight vector; ``"2/3@4"`` -> shorthand for "shard 2 weighs 4,
+        the others weigh 1" (every shard of one study must resolve to the
+        same vector — the store manifest enforces agreement).
+        """
         if isinstance(text, ShardSpec):
             return text
-        head, sep, tail = str(text).partition("/")
+        body, at, weight_spec = str(text).partition("@")
+        head, sep, tail = body.partition("/")
         try:
             if not sep:
                 raise ValueError
-            return cls(index=int(head), count=int(tail))
+            index, count = int(head), int(tail)
+            parts = None
+            if at:
+                parts = [int(token) for token in weight_spec.split(",")]
         except ValueError:
             raise ValueError(
-                f"bad shard spec {text!r}; expected K/N with 1 <= K <= N "
-                "(e.g. '2/3')"
+                f"bad shard spec {text!r}; expected K/N with 1 <= K <= N, "
+                "optionally @W (this shard's weight, peers weigh 1) or "
+                "@w1,...,wN (the full weight vector), e.g. '2/3', '2/3@4' "
+                "or '2/3@4,1,1'"
             ) from None
+        weights = None
+        if parts is not None:
+            if len(parts) == 1 and count > 1:
+                weights = tuple(
+                    parts[0] if k == index else 1 for k in range(1, count + 1)
+                )
+            else:
+                weights = tuple(parts)
+        return cls(index=index, count=count, weights=weights)
 
-    def indices(self, size: int) -> range:
-        """This shard's grid indices in ``range(size)`` (ascending)."""
+    def indices(self, size: int):
+        """This shard's grid indices in ``range(size)`` (ascending).
+
+        Uniform shards return the historical stride ``range``; weighted
+        shards return a sorted list — the indices whose residue modulo
+        ``sum(weights)`` lies in this shard's block of ``weight``
+        consecutive residues (so weighted slices stay strided
+        cross-sections of the grid, just ``weight`` residues wide).
+        """
         if size < 0:
             raise ValueError("grid size must be non-negative")
-        return range(self.index - 1, size, self.count)
+        if self.weights is None:
+            return range(self.index - 1, size, self.count)
+        total = sum(self.weights)
+        first = sum(self.weights[: self.index - 1])
+        own = []
+        for residue in range(first, first + self.weight):
+            own.extend(range(residue, size, total))
+        own.sort()
+        return own
 
     def __str__(self):
-        return f"{self.index}/{self.count}"
+        base = f"{self.index}/{self.count}"
+        if self.weights is None:
+            return base
+        return base + "@" + ",".join(str(weight) for weight in self.weights)
 
 
-def shard_indices(size: int, shard) -> range:
-    """Convenience: :meth:`ShardSpec.indices` accepting ``"K/N"`` strings."""
+def shard_indices(size: int, shard) -> "range | list":
+    """Convenience: :meth:`ShardSpec.indices` accepting ``"K/N[@w]"`` strings."""
     return ShardSpec.parse(shard).indices(size)

@@ -10,6 +10,8 @@ via a network filesystem across hosts):
       shard-0001-of-0003.jsonl   # one completion record per grid point
       shard-0002-of-0003.jsonl
       shard-0003-of-0003.jsonl
+      steal-0002-of-0003.jsonl   # records shard 2 stole from slower shards
+      claims/                    # advisory steal-range claim files
       fine-rescore.jsonl         # hybrid studies: cycle re-scored survivors
 
 Design rules, in order of importance:
@@ -31,9 +33,16 @@ Design rules, in order of importance:
   in-memory one, field for field — merged shard stores reproduce a
   single-process sweep *bit for bit*;
 * **self-describing** — ``MANIFEST.json`` pins the grid, shard count,
-  evaluator spec, hardware base config and workload recipe; a shard
-  launched against a store created for different settings fails loudly
-  (:class:`StoreMismatchError`) instead of silently mixing studies.
+  evaluator spec, hardware base config, workload recipe and (when
+  non-uniform) the shard weight vector; a shard launched against a store
+  created for different settings fails loudly (:class:`StoreMismatchError`)
+  instead of silently mixing studies;
+* **duplicate records tolerated when bit-identical** — work-stealing
+  means the same grid point may complete in a victim's shard file *and*
+  a stealer's ``steal-*.jsonl`` file; evaluation is deterministic, so
+  both records carry the same payload (everything but the ``t``
+  timestamp — see :func:`record_payload`) and the merge keeps either,
+  while genuinely conflicting duplicates raise.
 """
 
 from __future__ import annotations
@@ -60,6 +69,7 @@ __all__ = [
     "JsonlAppender",
     "encode_record",
     "decode_record",
+    "record_payload",
     "build_manifest",
     "config_to_dict",
     "config_from_dict",
@@ -70,7 +80,9 @@ SCHEMA = "repro-dist/1"
 
 MANIFEST_NAME = "MANIFEST.json"
 FINE_NAME = "fine-rescore.jsonl"
+CLAIMS_DIR = "claims"
 _SHARD_RE = re.compile(r"^shard-(\d{4})-of-(\d{4})\.jsonl$")
+_STEAL_RE = re.compile(r"^steal-(\d{4})-of-(\d{4})\.jsonl$")
 
 #: Records between ``fsync`` calls (every record is flushed; syncing each
 #: one would gate cheap evaluators on disk latency for little extra
@@ -153,6 +165,19 @@ def decode_record(record: dict):
         ) from None
 
 
+def record_payload(record: dict) -> dict:
+    """A completion record minus progress metadata (the ``t`` timestamp).
+
+    Two records are *the same completion* iff their payloads are equal:
+    evaluation is deterministic, so a grid point redundantly evaluated by
+    a victim shard and a work-stealer yields byte-identical parameters
+    and objectives and differs only in when it finished.  The
+    duplicate-tolerant merge compares payloads — identical payloads merge
+    silently, conflicting ones raise :class:`StoreCorruptError`.
+    """
+    return {key: value for key, value in record.items() if key != "t"}
+
+
 # ----------------------------------------------------------------------
 # Hardware-config round trip (manifests pin the swept base design point)
 # ----------------------------------------------------------------------
@@ -169,11 +194,18 @@ def config_from_dict(data: dict) -> HardwareConfig:
 
 
 def build_manifest(
-    grid, num_shards: int, evaluator, base_config, workload_spec=None
+    grid, num_shards: int, evaluator, base_config, workload_spec=None, weights=None
 ) -> dict:
-    """The settings fingerprint every shard of one study must agree on."""
+    """The settings fingerprint every shard of one study must agree on.
+
+    ``weights`` (the normalised :attr:`ShardSpec.weights` vector) is
+    recorded only when non-uniform, so uniform studies keep their
+    historical manifests byte for byte — and a shard launched with a
+    different weight vector than the store was created for fails the
+    field-by-field comparison loudly.
+    """
     grid = {name: list(values) for name, values in grid.items()}
-    return {
+    manifest = {
         "schema": SCHEMA,
         "grid": grid,
         "grid_size": grid_size(grid),
@@ -182,6 +214,9 @@ def build_manifest(
         "base_config": config_to_dict(base_config),
         "workload": dict(workload_spec) if workload_spec else {"kind": "opaque"},
     }
+    if weights is not None:
+        manifest["weights"] = [int(weight) for weight in weights]
+    return manifest
 
 
 # ----------------------------------------------------------------------
@@ -351,15 +386,37 @@ class ResultStore:
     def shard_path(self, shard) -> Path:
         return self.root / f"shard-{shard.index:04d}-of-{shard.count:04d}.jsonl"
 
-    def shard_files(self) -> List[tuple]:
-        """Present shard files as sorted ``(index, count, path)`` triples."""
+    def _matching_files(self, pattern) -> List[tuple]:
         files = []
         if self.root.is_dir():
             for entry in self.root.iterdir():
-                match = _SHARD_RE.match(entry.name)
+                match = pattern.match(entry.name)
                 if match:
                     files.append((int(match.group(1)), int(match.group(2)), entry))
         return sorted(files)
+
+    def shard_files(self) -> List[tuple]:
+        """Present shard files as sorted ``(index, count, path)`` triples."""
+        return self._matching_files(_SHARD_RE)
+
+    # -- work-stealing artifacts ---------------------------------------
+    def steal_path(self, shard) -> Path:
+        """Where shard ``K/N`` appends records it stole from other shards.
+
+        One writer per file still holds: each shard owns exactly one
+        steal file, named after the *stealer* — the indices inside belong
+        to other shards by definition.
+        """
+        return self.root / f"steal-{shard.index:04d}-of-{shard.count:04d}.jsonl"
+
+    def steal_files(self) -> List[tuple]:
+        """Present steal files as sorted ``(index, count, path)`` triples."""
+        return self._matching_files(_STEAL_RE)
+
+    @property
+    def claims_dir(self) -> Path:
+        """Directory of advisory steal-range claim files (see runner)."""
+        return self.root / CLAIMS_DIR
 
     @property
     def fine_path(self) -> Path:

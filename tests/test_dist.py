@@ -2,11 +2,14 @@
 
 import json
 import os
+import signal
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.dist import (
     IncompleteStoreError,
@@ -69,6 +72,85 @@ class TestShardSpec:
 
     def test_shard_indices_convenience(self):
         assert list(shard_indices(7, "2/3")) == [1, 4]
+
+
+#: Arbitrary weight vectors: 1-6 shards, weights 0-5, at least one positive.
+weight_vectors = st.lists(
+    st.integers(min_value=0, max_value=5), min_size=1, max_size=6
+).filter(lambda weights: sum(weights) > 0)
+
+
+class TestWeightedShardSpec:
+    def test_parse_full_vector(self):
+        spec = ShardSpec.parse("2/3@4,1,1")
+        assert spec == ShardSpec(2, 3, weights=(4, 1, 1))
+        assert spec.weight == 1
+        assert str(spec) == "2/3@4,1,1"
+        assert ShardSpec.parse(str(spec)) == spec
+
+    def test_parse_single_weight_shorthand(self):
+        """``K/N@W`` means "this shard weighs W, the others 1"."""
+        assert ShardSpec.parse("2/3@4") == ShardSpec(2, 3, weights=(1, 4, 1))
+        assert ShardSpec.parse("2/3@4").weight == 4
+
+    def test_all_equal_weights_normalise_to_uniform(self):
+        assert ShardSpec(2, 3, weights=(2, 2, 2)) == ShardSpec(2, 3)
+        assert str(ShardSpec.parse("2/3@1,1,1")) == "2/3"
+        assert ShardSpec.parse("1/1@5") == ShardSpec(1, 1)
+
+    @pytest.mark.parametrize("bad", [
+        "1/2@0,0",       # no positive weight
+        "1/2@1,2,3",     # wrong vector length
+        "1/2@-1,2",      # negative weight
+        "1/2@a,b",       # not integers
+        "1/2@1.5,2",     # not integers
+        "1/2@",          # empty weight spec
+    ])
+    def test_parse_rejects_bad_weights(self, bad):
+        with pytest.raises(ValueError):
+            ShardSpec.parse(bad)
+
+    def test_zero_weight_shard_owns_nothing(self):
+        assert ShardSpec(1, 2, weights=(0, 1)).indices(6) == []
+        assert list(ShardSpec(2, 2, weights=(0, 1)).indices(6)) == \
+            list(range(6))
+
+    def test_weighted_ownership_is_proportional(self):
+        """When sum(weights) divides size, shares are exact."""
+        weights = (3, 1)
+        size = 12
+        counts = [len(ShardSpec(k, 2, weights=weights).indices(size))
+                  for k in (1, 2)]
+        assert counts == [9, 3]
+
+    @given(size=st.integers(min_value=0, max_value=60),
+           weights=weight_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_partition_tiles_grid_exactly_once(self, size, weights):
+        """Weighted shards cover range(size) completely and disjointly."""
+        count = len(weights)
+        chunks = [list(ShardSpec(k, count, weights=tuple(weights)).indices(size))
+                  for k in range(1, count + 1)]
+        merged = sorted(i for chunk in chunks for i in chunk)
+        assert merged == list(range(size))
+
+    @given(size=st.integers(min_value=0, max_value=40),
+           weights=weight_vectors, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_owed_indices_never_overlap_own(self, size, weights, data):
+        """Steal candidates exclude the shard's own slice by construction."""
+        from repro.dist.runner import _owed_indices
+
+        count = len(weights)
+        index = data.draw(st.integers(min_value=1, max_value=count))
+        recorded = data.draw(st.sets(st.integers(min_value=0, max_value=60)))
+        shard = ShardSpec(index, count, weights=tuple(weights))
+        owed = _owed_indices(size, shard, recorded)
+        own = set(shard.indices(size))
+        assert not own.intersection(owed)
+        assert not recorded.intersection(owed)
+        assert set(owed) | own | (recorded & set(range(size))) == \
+            set(range(size))
 
 
 class TestStoreFiles:
@@ -495,3 +577,363 @@ class TestOpaqueWorkloadGuard:
         run_shard(wrong, GRID, "1/2", store, workload_spec=SPEC)
         with pytest.raises(StoreMismatchError):
             run_shard(right, GRID, "2/2", store, workload_spec=SPEC)
+
+
+class TestWeightedShards:
+    @pytest.mark.parametrize("evaluator", ["analytical", "cycle", "hybrid"])
+    def test_weighted_merge_equals_serial_sweep(self, tmp_path, workload,
+                                                evaluator):
+        serial = sweep_design_space(workload, GRID, evaluator=evaluator)
+        store = tmp_path / "store"
+        for k in (1, 2):
+            result = run_shard(workload, GRID, f"{k}/2@2,1", store,
+                               evaluator=evaluator, workload_spec=SPEC)
+            assert result.complete
+        merged = merge_store(store)
+        assert list(merged.points) == serial
+        assert list(merged.frontier) == pareto_frontier(serial)
+        assert merged.duplicates == 0
+
+    def test_weighted_ownership_recorded_in_shard_files(self, tmp_path,
+                                                        workload):
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/2@2,1", store, workload_spec=SPEC)
+        records = load_jsonl(ResultStore(store).shard_path(ShardSpec(1, 2)))
+        # sum(weights)=3: shard 1 owns residues {0,1} -> 0,1,3,4 of 6.
+        assert sorted(r["i"] for r in records) == [0, 1, 3, 4]
+
+    def test_manifest_pins_weights_for_later_shards(self, tmp_path,
+                                                    workload):
+        """A shard launched without weights adopts the store's vector."""
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/2@2,1", store, workload_spec=SPEC)
+        result = run_shard(workload, GRID, "2/2", store, workload_spec=SPEC)
+        assert result.shard == ShardSpec(2, 2, weights=(2, 1))
+        assert result.total == 2  # residue {2} of 6 -> indices 2, 5
+        assert list(merge_store(store).points) == \
+            sweep_design_space(workload, GRID)
+
+    def test_conflicting_weights_rejected(self, tmp_path, workload):
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/2@2,1", store, workload_spec=SPEC)
+        with pytest.raises(StoreMismatchError):
+            run_shard(workload, GRID, "2/2@1,2", store, workload_spec=SPEC)
+        # A weighted shard cannot join a store created uniform either.
+        uniform = tmp_path / "uniform"
+        run_shard(workload, GRID, "1/2", uniform, workload_spec=SPEC)
+        with pytest.raises(StoreMismatchError):
+            run_shard(workload, GRID, "2/2@2,1", uniform, workload_spec=SPEC)
+
+
+class TestWorkStealing:
+    def test_stealing_completes_missing_shard(self, tmp_path, workload):
+        """One stealing shard finishes an absent peer's slice."""
+        serial = sweep_design_space(workload, GRID)
+        store = tmp_path / "store"
+        result = run_shard(workload, GRID, "2/2", store, workload_spec=SPEC,
+                           steal=True)
+        assert result.evaluated == 3 and result.stolen == 3
+        merged = merge_store(store)
+        assert list(merged.points) == serial
+        assert merged.duplicates == 0
+        status = store_status(store)
+        assert status.complete
+        by_shard = {str(s.shard): s for s in status.shards}
+        assert by_shard["1/2"].stolen == 3 and by_shard["1/2"].done == 3
+        assert by_shard["2/2"].steals == 3 and by_shard["2/2"].stolen == 0
+        assert status.stolen == 3 and status.steals == 3
+
+    def test_victim_skips_stolen_work(self, tmp_path, workload):
+        """A late victim re-evaluates nothing a stealer already recorded."""
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "2/2", store, workload_spec=SPEC,
+                  evaluator=_RecordingEvaluator(), steal=True)
+        counting = _RecordingEvaluator()
+        result = run_shard(workload, GRID, "1/2", store, workload_spec=SPEC,
+                           evaluator=counting)
+        assert counting.calls == []
+        assert result.evaluated == 0 and result.skipped == 3
+        assert list(merge_store(store).points) == \
+            sweep_design_space(workload, GRID)
+
+    def test_stolen_failures_are_completion_records(self, tmp_path,
+                                                    workload):
+        """A poisoned point stays a durable failure when stolen."""
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "2/2", store, workload_spec=SPEC,
+                  evaluator=_RecordingEvaluator(poison=32), steal=True)
+        status = store_status(store)
+        assert status.complete and status.failed == 2
+        by_shard = {str(s.shard): s for s in status.shards}
+        # mac_lines=32 sits at grid indices 1 (own) and 4 (stolen).
+        assert by_shard["2/2"].failed == 1
+        assert by_shard["1/2"].failed == 1 and by_shard["1/2"].stolen == 3
+        with pytest.warns(RuntimeWarning, match="poisoned point"):
+            merged = merge_store(store)
+        assert merged.dropped == 2
+
+    def test_zero_weight_shard_is_pure_stealer(self, tmp_path, workload):
+        store = tmp_path / "store"
+        result = run_shard(workload, GRID, "1/2@0,1", store,
+                           workload_spec=SPEC, steal=True)
+        assert result.total == 0 and result.evaluated == 0
+        assert result.stolen == 6
+        late = run_shard(workload, GRID, "2/2", store, workload_spec=SPEC,
+                         evaluator=None)
+        assert late.evaluated == 0 and late.skipped == 6
+        assert list(merge_store(store).points) == \
+            sweep_design_space(workload, GRID)
+
+    def test_steal_claims_are_released_on_success(self, tmp_path, workload):
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "2/2", store, workload_spec=SPEC,
+                  steal=True)
+        claims = ResultStore(store).claims_dir
+        assert not claims.is_dir() or list(claims.glob("*.claim")) == []
+
+    def test_live_claim_blocks_stealing(self, tmp_path, workload):
+        """A fresh claim by another stealer is honoured (no busy-wait)."""
+        from repro.dist.runner import _claim_path, _owed_indices
+
+        store_path = tmp_path / "store"
+        run_shard(workload, GRID, "2/2", store_path, workload_spec=SPEC)
+        store = ResultStore(store_path)
+        owed = _owed_indices(6, ShardSpec(2, 2), {1, 3, 5})
+        claim = _claim_path(store, owed)
+        claim.parent.mkdir(parents=True, exist_ok=True)
+        claim.write_text("held by a live peer")
+        result = run_shard(workload, GRID, "2/2", store_path,
+                           workload_spec=SPEC, steal=True)
+        assert result.stolen == 0
+        with pytest.raises(IncompleteStoreError):
+            merge_store(store_path)
+
+    def test_expired_claim_is_taken_over(self, tmp_path, workload):
+        from repro.dist.runner import _claim_path, _owed_indices
+
+        store_path = tmp_path / "store"
+        run_shard(workload, GRID, "2/2", store_path, workload_spec=SPEC)
+        store = ResultStore(store_path)
+        owed = _owed_indices(6, ShardSpec(2, 2), {1, 3, 5})
+        claim = _claim_path(store, owed)
+        claim.parent.mkdir(parents=True, exist_ok=True)
+        claim.write_text("abandoned by a dead peer")
+        stale = time.time() - 3600.0
+        os.utime(claim, (stale, stale))
+        result = run_shard(workload, GRID, "2/2", store_path,
+                           workload_spec=SPEC, steal=True, claim_ttl=600.0)
+        assert result.stolen == 3
+        assert list(merge_store(store_path).points) == \
+            sweep_design_space(workload, GRID)
+
+
+class TestClaimPrimitives:
+    def test_exclusive_creation(self, tmp_path):
+        from repro.dist.runner import _release_claim, _try_claim
+
+        claim = tmp_path / "claims" / "steal-00000000-00000004.claim"
+        shard = ShardSpec(2, 2)
+        assert _try_claim(claim, shard, ttl=600.0)
+        assert claim.exists()
+        assert not _try_claim(claim, shard, ttl=600.0)  # fresh -> blocked
+        _release_claim(claim)
+        assert not claim.exists()
+        _release_claim(claim)  # idempotent
+
+    def test_ttl_zero_ignores_existing_claims(self, tmp_path):
+        from repro.dist.runner import _try_claim
+
+        claim = tmp_path / "claims" / "steal-00000000-00000004.claim"
+        assert _try_claim(claim, ShardSpec(1, 2), ttl=600.0)
+        assert _try_claim(claim, ShardSpec(2, 2), ttl=0)
+
+    def test_stale_claim_taken_over(self, tmp_path):
+        from repro.dist.runner import _try_claim
+
+        claim = tmp_path / "claims" / "steal-00000000-00000004.claim"
+        assert _try_claim(claim, ShardSpec(1, 2), ttl=600.0)
+        stale = time.time() - 3600.0
+        os.utime(claim, (stale, stale))
+        assert _try_claim(claim, ShardSpec(2, 2), ttl=600.0)
+
+
+class TestDuplicateTolerantMerge:
+    def _complete_store(self, tmp_path, workload):
+        store = tmp_path / "store"
+        for k in (1, 2):
+            run_shard(workload, GRID, f"{k}/2", store, workload_spec=SPEC)
+        return ResultStore(store)
+
+    def test_bit_identical_duplicate_tolerated(self, tmp_path, workload):
+        store = self._complete_store(tmp_path, workload)
+        record = dict(load_jsonl(store.shard_path(ShardSpec(1, 2)))[0])
+        record["t"] = 9.9e9  # timestamps may differ between copies
+        steal_file = store.steal_path(ShardSpec(2, 2))
+        steal_file.write_text(json.dumps(record) + "\n")
+        merged = merge_store(store.root)
+        assert merged.duplicates == 1
+        assert list(merged.points) == sweep_design_space(workload, GRID)
+
+    def test_conflicting_duplicate_raises(self, tmp_path, workload):
+        store = self._complete_store(tmp_path, workload)
+        record = dict(load_jsonl(store.shard_path(ShardSpec(1, 2)))[0])
+        record["s"] = record["s"] * 2  # a different result for one index
+        steal_file = store.steal_path(ShardSpec(2, 2))
+        steal_file.write_text(json.dumps(record) + "\n")
+        with pytest.raises(StoreCorruptError, match="conflicting"):
+            merge_store(store.root)
+
+    def test_steal_file_holding_own_index_raises(self, tmp_path, workload):
+        store = self._complete_store(tmp_path, workload)
+        record = load_jsonl(store.shard_path(ShardSpec(2, 2)))[0]
+        steal_file = store.steal_path(ShardSpec(2, 2))
+        steal_file.write_text(json.dumps(record) + "\n")
+        with pytest.raises(StoreCorruptError, match="owns outright"):
+            merge_store(store.root)
+
+    def test_foreign_partition_steal_file_raises(self, tmp_path, workload):
+        store = self._complete_store(tmp_path, workload)
+        (store.root / "steal-0001-of-0004.jsonl").write_text("")
+        with pytest.raises(StoreMismatchError, match="partition"):
+            merge_store(store.root)
+
+
+class _KillableStealer:
+    """A real subprocess running a handicapped stealing shard."""
+
+    SCRIPT = """\
+import sys
+from repro.dist import model_workload_spec, run_shard
+from repro.perf import cached_model_workload
+
+GRID = {"mac_lines": (16, 32, 64), "ae_compression": (None, 0.5)}
+workload = cached_model_workload("deit-tiny", sparsity=0.9)
+run_shard(
+    workload, GRID, sys.argv[1], sys.argv[2],
+    workload_spec=model_workload_spec("deit-tiny", sparsity=0.9),
+    steal=True, handicap=float(sys.argv[3]),
+)
+"""
+
+    def __init__(self, tmp_path, shard, store, handicap):
+        import repro
+
+        script = tmp_path / "stealer.py"
+        script.write_text(self.SCRIPT)
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [package_root] + ([env["PYTHONPATH"]] if "PYTHONPATH" in env
+                              else [])
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, str(script), shard, str(store), str(handicap)],
+            cwd=str(tmp_path), env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+
+
+class TestKillMidSteal:
+    """Acceptance: a shard killed mid-steal leaves the store mergeable."""
+
+    def _kill_mid_steal(self, tmp_path, workload):
+        """Complete shard 1/2, then SIGKILL it mid-way through stealing
+        shard 2's slice.  Returns the store root."""
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/2", store, workload_spec=SPEC)
+        stealer = _KillableStealer(tmp_path, "1/2", store, handicap=0.3)
+        steal_file = ResultStore(store).steal_path(ShardSpec(1, 2))
+        deadline = time.monotonic() + 60.0
+        try:
+            while time.monotonic() < deadline:
+                if len(load_jsonl(steal_file)) >= 1:
+                    break
+                if stealer.proc.poll() is not None:
+                    pytest.fail("stealer exited before it could be killed")
+                time.sleep(0.02)
+            else:
+                pytest.fail("stealer never recorded a stolen point")
+            stealer.proc.send_signal(signal.SIGKILL)
+            stealer.proc.wait(timeout=30)
+        finally:
+            if stealer.proc.poll() is None:
+                stealer.proc.kill()
+                stealer.proc.wait(timeout=30)
+        stolen = [r["i"] for r in load_jsonl(steal_file)]
+        assert stolen and set(stolen) < {1, 3, 5}  # killed mid-steal
+        claims = list(ResultStore(store).claims_dir.glob("*.claim"))
+        assert claims  # the claim outlived its writer
+        with pytest.raises(IncompleteStoreError):
+            merge_store(store)  # incomplete, but not corrupt
+        return store
+
+    def test_resumed_stealer_completes(self, tmp_path, workload):
+        store = self._kill_mid_steal(tmp_path, workload)
+        # claim_ttl=0 ignores the orphaned claim instead of waiting for
+        # its TTL; the resumed stealer re-claims and finishes the range.
+        result = run_shard(workload, GRID, "1/2", store, workload_spec=SPEC,
+                           steal=True, claim_ttl=0)
+        assert result.evaluated == 0 and result.stolen >= 1
+        merged = merge_store(store)
+        assert list(merged.points) == sweep_design_space(workload, GRID)
+
+    def test_victim_completes_after_stealer_death(self, tmp_path, workload):
+        store = self._kill_mid_steal(tmp_path, workload)
+        result = run_shard(workload, GRID, "2/2", store, workload_spec=SPEC)
+        assert 1 <= result.evaluated <= 2  # only the unstolen remainder
+        merged = merge_store(store)
+        assert list(merged.points) == sweep_design_space(workload, GRID)
+        assert merged.duplicates == 0
+
+
+class TestElasticCli:
+    GRID_ARGS = ["--grid", "mac_lines=16,32", "--grid",
+                 "ae_compression=none,0.5"]
+
+    def test_weighted_stealing_shard_completes_store(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        assert main(["dse-shard", "--shard", "1/2@1,3", "--out", store,
+                     "--models", "deit-tiny", "--steal"]
+                    + self.GRID_ARGS) == 0
+        assert main(["dse-status", store]) == 0
+        merged_json = str(tmp_path / "merged.json")
+        assert main(["dse-merge", store, "--json", merged_json]) == 0
+        captured = capsys.readouterr().out
+        assert "3 stolen from other shards" in captured
+        assert "4/4 grid points done" in captured
+        serial_json = str(tmp_path / "serial.json")
+        assert main(["dse", "--models", "deit-tiny", "--json", serial_json]
+                    + self.GRID_ARGS) == 0
+        merged = json.loads(Path(merged_json).read_text())
+        serial = json.loads(Path(serial_json).read_text())
+        assert merged["points"] == serial["points"]
+
+    def test_status_reports_stolen_counts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        assert main(["dse-shard", "--shard", "2/2", "--out", store,
+                     "--models", "deit-tiny", "--steal"]
+                    + self.GRID_ARGS) == 0
+        assert main(["dse-status", store, "--json",
+                     str(tmp_path / "status.json")]) == 0
+        captured = capsys.readouterr().out
+        assert "stolen" in captured and "steals" in captured
+        status = json.loads((tmp_path / "status.json").read_text())
+        assert status["complete"] and status["stolen"] == 2
+        by_shard = {s["shard"]: s for s in status["shards"]}
+        assert by_shard["1/2"]["stolen"] == 2
+        assert by_shard["2/2"]["steals"] == 2
+
+    def test_bad_steal_flags_rejected(self, tmp_path):
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        base = ["dse-shard", "--shard", "1/1", "--out", store]
+        with pytest.raises(SystemExit):
+            main(base + ["--steal-chunk", "0"])
+        with pytest.raises(SystemExit):
+            main(base + ["--handicap", "-1"])
