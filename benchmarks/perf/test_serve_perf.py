@@ -1,0 +1,110 @@
+"""Closed-loop load smoke for the DSE service (:mod:`repro.serve`).
+
+N concurrent clients each POST their *own* small analytical study (grids
+differ in one swept value, so every request is a distinct job — no
+accidental dedup flattering the numbers) and poll it to completion over
+a real socket.  Measured: end-to-end job throughput, p50/p95 per-job
+latency, and the failure rate; then every client re-POSTs its study and
+the second pass must be served entirely from the result cache.
+
+Smoke mode keeps the fleet tiny (2 clients) and asserts only semantics
+— zero failures, all-cache second pass.  Full mode (``--bench-out``)
+runs 8 clients and records the first row of the load/latency run table
+the service roadmap item calls for.  Absolute throughput on the 1-CPU
+CI container time-slices one core across the HTTP threads, the shard
+workers, and the clients; the number is a regression tripwire, not a
+capacity claim.
+"""
+
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve import ServeClient, serving
+
+
+def _study(bandwidth):
+    """A distinct 4-point analytical study per client (unique fingerprint)."""
+    return {
+        "grid": {
+            "mac_lines": [16, 32],
+            "bandwidth_gbps": [bandwidth, bandwidth * 2],
+        },
+        "evaluator": "analytical",
+        "model": "deit-tiny",
+        "n_shards": 1,
+    }
+
+
+def _client_pass(url, bandwidth, timeout):
+    """Submit one study and ride it to completion; returns timing info."""
+    client = ServeClient(url, timeout=timeout)
+    start = time.perf_counter()
+    try:
+        info = client.submit(_study(bandwidth))
+        status = client.wait(info["id"], timeout=timeout, poll=0.05)
+        if status["state"] != "done":
+            return {"ok": False, "cache_hit": False, "seconds": 0.0}
+        client.raw_results(info["id"])
+        return {
+            "ok": True,
+            "cache_hit": info["cache_hit"],
+            "seconds": time.perf_counter() - start,
+        }
+    except Exception:  # noqa: BLE001 - failures are the measurement
+        return {"ok": False, "cache_hit": False, "seconds": 0.0}
+
+
+def test_serve_closed_loop_load(bench_recorder, bench_mode, tmp_path):
+    full = bench_mode == "full"
+    clients = 8 if full else 2
+    timeout = 300.0
+    bandwidths = [8.0 + 4.0 * index for index in range(clients)]
+
+    with serving(tmp_path / "data", workers=2) as server:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            first = list(
+                pool.map(lambda b: _client_pass(server.url, b, timeout),
+                         bandwidths)
+            )
+        elapsed = time.perf_counter() - started
+        with ThreadPoolExecutor(max_workers=clients) as pool:
+            second = list(
+                pool.map(lambda b: _client_pass(server.url, b, timeout),
+                         bandwidths)
+            )
+        stats = server.manager.stats
+
+    failures = sum(1 for r in first + second if not r["ok"])
+    failure_rate = failures / (2 * clients)
+    latencies = sorted(r["seconds"] for r in first if r["ok"])
+    p50 = statistics.median(latencies) if latencies else float("nan")
+    p95 = latencies[max(0, int(round(0.95 * len(latencies))) - 1)] \
+        if latencies else float("nan")
+    throughput = len(latencies) / elapsed if elapsed > 0 else 0.0
+
+    bench_recorder.record(
+        "serve_load",
+        clients=clients,
+        grid_points_per_job=4,
+        jobs_ok=len(latencies),
+        throughput_jobs_per_s=throughput,
+        p50_latency_s=p50,
+        p95_latency_s=p95,
+        failure_rate=failure_rate,
+        cache_hits_second_pass=sum(1 for r in second if r["cache_hit"]),
+        shards_run=stats["shards_run"],
+    )
+
+    # Semantics always hold, smoke or full: nothing failed, the first
+    # pass scored each distinct study exactly once, and the second pass
+    # was served entirely from the content-addressed cache.
+    assert failure_rate == 0.0
+    assert stats["shards_run"] == clients
+    assert all(r["cache_hit"] for r in second)
+    assert not any(r["cache_hit"] for r in first)
+    if full:
+        # Loose tripwire: tiny analytical jobs must clear 1 job/s even
+        # on a time-sliced single core, or the service regressed badly.
+        assert throughput > 1.0

@@ -26,6 +26,13 @@ others own; ``--steal`` makes a finished shard claim and evaluate
 missing indices of slower shards — see :mod:`repro.dist`):
 
     python -m repro dse-shard --shard 1/3@4,1,1 --out store/ --steal
+
+The same studies run as a service (see :mod:`repro.serve`): POST a grid
++ evaluator spec, poll progress, fetch results byte-identical to the
+``dse`` command's ``--json`` output:
+
+    python -m repro serve --port 8765 --data-dir serve-data/
+    curl -X POST localhost:8765/jobs -d '{"grid": {"mac_lines": [16, 32]}}'
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ EXPERIMENTS = {
     "dse-shard": "evaluate one K/N shard of a sweep into a result store",
     "dse-merge": "merge a sharded store into the full sweep + frontier",
     "dse-status": "per-shard progress of a sharded sweep store",
+    "serve": "run the HTTP DSE job service over a durable data dir",
 }
 
 #: Default grid of the ``dse`` command (overridable with ``--grid``).
@@ -163,6 +171,16 @@ def build_parser():
                         help="dse-shard: sleep this long per recorded "
                              "point (an artificial straggler for "
                              "stealing tests and benchmarks)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="serve: TCP port to listen on (default 8765; "
+                             "0 picks an ephemeral port)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="serve: interface to bind (default loopback)")
+    parser.add_argument("--data-dir", metavar="DIR", default=None,
+                        help="serve: durable job-state directory (jobs "
+                             "resume from it after a restart)")
+    parser.add_argument("--serve-workers", type=int, default=2, metavar="N",
+                        help="serve: shard worker threads (default 2)")
     return parser
 
 
@@ -212,40 +230,29 @@ def _format_eta(eta_seconds):
 def _dse_result(model, sparsity, evaluator_name, grid, points):
     """Print the DSE point table and build the JSON payload.
 
-    Shared by ``dse`` and ``dse-merge`` so a merged sharded study renders
-    and serialises exactly like the single-process sweep it reproduces
-    (the CI smoke job asserts the two JSON payloads' points are equal).
+    The payload itself comes from the shared
+    :func:`repro.harness.serialization.dse_result_payload` builder, so
+    ``dse``, ``dse-merge`` and the serve layer's results endpoint all
+    serialise one sweep identically (the CI smoke jobs assert the JSON
+    files are byte-identical across the three surfaces).
     """
-    from .harness.dse import pareto_frontier
+    from .harness.serialization import dse_result_payload
 
-    frontier = set(map(id, pareto_frontier(points)))
+    payload = dse_result_payload(model, sparsity, evaluator_name, grid, points)
     names_ = sorted(grid)
+    rows = payload["points"]
+    frontier_size = sum(1 for row in rows if row["pareto"])
     print(harness.format_table(
         names_ + ["seconds", "energy_J", "EDP", "pareto"],
-        [[p.parameter(n) for n in names_]
-         + [p.seconds, p.energy_joules, p.edp,
-            "*" if id(p) in frontier else ""]
-         for p in points],
+        [[row["parameters"][n] for n in names_]
+         + [row["seconds"], row["energy_joules"], row["edp"],
+            "*" if row["pareto"] else ""]
+         for row in rows],
         float_fmt="{:.3e}",
     ))
-    print(f"\n{len(points)} points ({evaluator_name} evaluator), "
-          f"{len(frontier)} on the Pareto frontier")
-    return {
-        "model": model,
-        "sparsity": sparsity,
-        "evaluator": evaluator_name,
-        "grid": {k: list(v) for k, v in grid.items()},
-        "points": [
-            {
-                "parameters": dict(p.parameters),
-                "seconds": p.seconds,
-                "energy_joules": p.energy_joules,
-                "edp": p.edp,
-                "pareto": id(p) in frontier,
-            }
-            for p in points
-        ],
-    }
+    print(f"\n{len(rows)} points ({evaluator_name} evaluator), "
+          f"{frontier_size} on the Pareto frontier")
+    return payload
 
 
 def _run(args):
@@ -265,6 +272,19 @@ def _run(args):
     if name == "list":
         for key in sorted(EXPERIMENTS):
             print(f"{key:10s} {EXPERIMENTS[key]}")
+        return None
+
+    if name == "serve":
+        from .serve import run_server
+        if not args.data_dir:
+            raise SystemExit("serve requires --data-dir DIR (durable job "
+                             "state lives there)")
+        if args.serve_workers < 1:
+            raise SystemExit(
+                f"--serve-workers must be >= 1, got {args.serve_workers}"
+            )
+        run_server(args.data_dir, host=args.host, port=args.port,
+                   workers=args.serve_workers)
         return None
 
     if name == "fig1":

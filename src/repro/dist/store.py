@@ -50,6 +50,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import threading
 import time
 from dataclasses import asdict
 from pathlib import Path
@@ -328,6 +329,23 @@ class ResultStore:
     def __init__(self, root):
         self.root = Path(root)
 
+    @classmethod
+    def create_or_attach(cls, root, manifest: dict) -> "ResultStore":
+        """THE way to open a store for writing: create it, or attach to it.
+
+        The shared entry point of every store-creating caller — shard
+        launches (:func:`repro.dist.run_shard`) and the serve layer's job
+        submissions — so concurrent creators of one directory cannot race
+        manifest creation: exactly one writer publishes the manifest
+        atomically (exclusive-create, the claim-file pattern), every
+        other caller attaches and validates field by field, and a caller
+        holding *different* settings gets :class:`StoreMismatchError`
+        instead of silently clobbering the study that won.
+        """
+        store = cls(root)
+        store.ensure_manifest(manifest)
+        return store
+
     # -- manifest ------------------------------------------------------
     @property
     def manifest_path(self) -> Path:
@@ -352,34 +370,59 @@ class ResultStore:
     def ensure_manifest(self, manifest: dict) -> dict:
         """Create the store for ``manifest``, or verify it already matches.
 
-        The first shard to run creates the directory and writes the
-        manifest atomically (temp file + ``os.replace``); later shards —
-        possibly on other hosts — compare field by field and refuse to
-        write into a store whose grid/evaluator/config/workload differ.
-        Concurrent creation is benign: identical settings produce
-        byte-identical manifests, so whichever replace lands last wins.
+        The first caller to run creates the directory and *exclusively*
+        publishes the manifest (see :meth:`_publish_manifest`); every
+        later caller — another shard process, possibly on another host,
+        or a concurrent job submission in the serve layer — compares
+        field by field and refuses to write into a store whose
+        grid/evaluator/config/workload differ.  Exactly one creator can
+        win the publish, so two simultaneous creations with *different*
+        settings resolve to one study plus one loud
+        :class:`StoreMismatchError` — never to a silently mixed store.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         # JSON round-trip first so tuples/lists and int/float unify the
         # same way they will when read back.
         expected = json.loads(_dump(manifest))
         existing = self.read_manifest(missing_ok=True)
-        if existing is not None:
-            mismatched = sorted(
-                key for key in set(expected) | set(existing)
-                if expected.get(key) != existing.get(key)
+        if existing is None:
+            existing = self._publish_manifest(expected)
+        mismatched = sorted(
+            key for key in set(expected) | set(existing)
+            if expected.get(key) != existing.get(key)
+        )
+        if mismatched:
+            raise StoreMismatchError(
+                f"{self.root} was created for a different study "
+                f"(mismatched manifest fields: {', '.join(mismatched)}); "
+                "use a fresh --out directory per study"
             )
-            if mismatched:
-                raise StoreMismatchError(
-                    f"{self.root} was created for a different study "
-                    f"(mismatched manifest fields: {', '.join(mismatched)}); "
-                    "use a fresh --out directory per study"
-                )
-            return existing
-        tmp = self.manifest_path.with_name(f"{MANIFEST_NAME}.tmp.{os.getpid()}")
+        return existing
+
+    def _publish_manifest(self, expected: dict) -> dict:
+        """Atomically create ``MANIFEST.json``, exclusive and complete.
+
+        Mirrors the steal-claim pattern's exclusive creation with the
+        content atomicity a manifest additionally needs: the payload is
+        written to a uniquely-named temp file first and *hard-linked*
+        into place — ``link`` fails with ``FileExistsError`` if the
+        manifest already exists (the ``O_EXCL`` semantics) and publishes
+        fully-written content when it succeeds, so a concurrent attacher
+        can never observe a half-written manifest.  Losing the race is
+        handled by reading back whatever the winner published (the
+        caller validates it field by field).
+        """
         payload = json.dumps(expected, sort_keys=True, indent=2, allow_nan=False)
+        tmp = self.manifest_path.with_name(
+            f"{MANIFEST_NAME}.tmp.{os.getpid()}.{threading.get_ident()}"
+        )
         tmp.write_text(payload + "\n")
-        os.replace(tmp, self.manifest_path)
+        try:
+            os.link(tmp, self.manifest_path)
+        except FileExistsError:
+            return self.read_manifest()
+        finally:
+            tmp.unlink(missing_ok=True)
         return expected
 
     # -- shard files ---------------------------------------------------

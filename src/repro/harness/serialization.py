@@ -19,6 +19,7 @@ __all__ = [
     "report_to_dict",
     "report_from_dict",
     "reports_to_csv",
+    "dse_result_payload",
     "to_json",
 ]
 
@@ -102,6 +103,37 @@ def reports_to_csv(reports) -> str:
         ]
         writer.writerow(row)
     return buffer.getvalue()
+
+
+def dse_result_payload(model, sparsity, evaluator_name, grid, points) -> dict:
+    """THE serialisable form of a finished DSE sweep.
+
+    One payload builder shared by every surface that renders a sweep —
+    ``python -m repro dse``, ``dse-merge``, and the serve layer's
+    ``GET /jobs/<id>/results`` — so a merged sharded store and a job
+    served over HTTP reproduce the single-process sweep's JSON **byte
+    for byte** (``to_json`` of equal payloads is identical text: keys
+    are sorted and floats round-trip through the shortest repr).
+    """
+    from .dse import pareto_frontier
+
+    frontier = set(map(id, pareto_frontier(points)))
+    return {
+        "model": model,
+        "sparsity": sparsity,
+        "evaluator": evaluator_name,
+        "grid": {name: list(values) for name, values in grid.items()},
+        "points": [
+            {
+                "parameters": dict(point.parameters),
+                "seconds": point.seconds,
+                "energy_joules": point.energy_joules,
+                "edp": point.edp,
+                "pareto": id(point) in frontier,
+            }
+            for point in points
+        ],
+    }
 
 
 def to_json(payload, indent=2) -> str:

@@ -1,0 +1,43 @@
+"""DSE-as-a-service: a stdlib HTTP job API over the dist result store.
+
+``python -m repro serve --port 8765 --data-dir ./serve-data`` turns the
+sweep machinery into a long-lived service: ``POST /jobs`` accepts a study
+(grid + evaluator spec + workload recipe), a worker pool runs it as
+:mod:`repro.dist` shards against a durable result store, ``GET
+/jobs/<id>`` reports progress incrementally from the completion records,
+and ``GET /jobs/<id>/results`` serves the merged sweep — byte-identical
+to ``python -m repro dse --json`` on the same study, partial while the
+job still runs.  Job identity is the study's content fingerprint, so
+identical re-submissions deduplicate while running and hit a durable
+result cache once finished; on restart the server re-enqueues every
+unfinished job directory and the shards resume from their records.
+
+Layout: :mod:`.cache` (fingerprint + result cache), :mod:`.jobs`
+(validation, worker pool, durable job dirs), :mod:`.app` (HTTP routes),
+:mod:`.client` (urllib client for tests/CI/benchmarks).
+"""
+
+from .app import ServeServer, build_server, run_server, serving
+from .cache import ResultCache, study_fingerprint
+from .client import ServeClient, ServeError
+from .jobs import (
+    JobFailedError,
+    JobManager,
+    ServeRequestError,
+    UnknownJobError,
+)
+
+__all__ = [
+    "ServeServer",
+    "build_server",
+    "run_server",
+    "serving",
+    "ResultCache",
+    "study_fingerprint",
+    "ServeClient",
+    "ServeError",
+    "JobFailedError",
+    "JobManager",
+    "ServeRequestError",
+    "UnknownJobError",
+]

@@ -1,0 +1,206 @@
+"""The HTTP surface: stdlib ``ThreadingHTTPServer`` over a JobManager.
+
+Four routes, all JSON:
+
+========================  ====================================================
+``GET /health``           liveness + the manager's counters
+``POST /jobs``            submit a study → ``{id, state, cache_hit, ...}``
+                          (``201`` when this call created the job, ``200``
+                          when it deduplicated onto a running one or hit the
+                          result cache)
+``GET /jobs``             brief info for every known job
+``GET /jobs/<id>``        progress from the store ledger (done %, ETA)
+``GET /jobs/<id>/results``  the results document — partial while running,
+                          and once done the cached text **verbatim**
+                          (byte-identical to ``python -m repro dse --json``)
+========================  ====================================================
+
+Errors are ``{"error": msg}``: ``400`` for malformed submissions, ``404``
+for unknown ids, ``409`` for results of a failed job.  The server is
+deliberately boring — every decision lives in :class:`.jobs.JobManager`;
+this module only parses bytes and picks status codes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import re
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .jobs import JobFailedError, JobManager, ServeRequestError, UnknownJobError
+
+__all__ = ["ServeServer", "build_server", "run_server", "serving"]
+
+_JOB_ROUTE = re.compile(r"^/jobs/([0-9a-f]{16})(/results)?$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            sys.stderr.write("%s - %s\n" % (self.address_string(), format % args))
+
+    # -- plumbing ------------------------------------------------------
+    def _send(self, code, text, content_type="application/json"):
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, code, payload):
+        self._send(code, json.dumps(payload, sort_keys=True))
+
+    def _error(self, code, message):
+        self._send_json(code, {"error": str(message)})
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self):
+        path = self.path.split("?", 1)[0]
+        if path in ("/", "/health"):
+            self._send_json(
+                200, {"ok": True, "service": "repro-serve", "stats": self.manager.stats}
+            )
+            return
+        if path == "/jobs":
+            self._send_json(200, {"jobs": self.manager.jobs()})
+            return
+        match = _JOB_ROUTE.match(path)
+        if match is None:
+            self._error(404, f"no route {path!r}")
+            return
+        job_id, want_results = match.group(1), bool(match.group(2))
+        try:
+            if want_results:
+                # The results document is pre-rendered text; send it
+                # verbatim — these bytes are the byte-identity contract.
+                text, _partial = self.manager.results(job_id)
+                self._send(200, text)
+            else:
+                self._send_json(200, self.manager.status(job_id))
+        except UnknownJobError:
+            self._error(404, f"unknown job {job_id!r}")
+        except JobFailedError as exc:
+            self._error(409, f"job {job_id} failed: {exc}")
+
+    def do_POST(self):
+        path = self.path.split("?", 1)[0]
+        if path != "/jobs":
+            self._error(404, f"no route {path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        try:
+            request = json.loads(self.rfile.read(length) or b"")
+        except json.JSONDecodeError as exc:
+            self._error(400, f"request body is not valid JSON: {exc}")
+            return
+        try:
+            info = self.manager.submit(request)
+        except ServeRequestError as exc:
+            self._error(400, str(exc))
+            return
+        self._send_json(201 if info["created"] else 200, info)
+
+
+class ServeServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer that owns a :class:`JobManager`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, manager: JobManager, verbose=False):
+        super().__init__(address, _Handler)
+        self.manager = manager
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+def build_server(
+    data_dir,
+    host="127.0.0.1",
+    port=0,
+    workers=2,
+    max_grid_points=65536,
+    max_shards=16,
+    verbose=False,
+) -> ServeServer:
+    """Bind a server and resume any unfinished jobs in ``data_dir``.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port``).
+    Resumption happens *before* the first request can land: a restarted
+    server already owes its half-done studies to the queue.
+    """
+    manager = JobManager(
+        data_dir,
+        workers=workers,
+        max_grid_points=max_grid_points,
+        max_shards=max_shards,
+    )
+    manager.resume()
+    return ServeServer((host, port), manager, verbose=verbose)
+
+
+def run_server(data_dir, host="127.0.0.1", port=8765, workers=2, verbose=False):
+    """Blocking entry point behind ``python -m repro serve``."""
+    server = build_server(
+        data_dir, host=host, port=port, workers=workers, verbose=verbose
+    )
+    resumed = [
+        info["id"]
+        for info in server.manager.jobs()
+        if info["state"] in ("queued", "running")
+    ]
+    print(
+        f"repro-serve listening on {server.url} "
+        f"(data_dir={data_dir}, workers={workers}, resumed={len(resumed)})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.manager.stop()
+    return server
+
+
+@contextlib.contextmanager
+def serving(data_dir, **kwargs):
+    """Run a server on a background thread for the ``with`` body.
+
+    Yields the :class:`ServeServer`; the tests' and benchmarks' way to
+    stand up a real HTTP endpoint (ephemeral port by default) without a
+    subprocess.
+    """
+    server = build_server(data_dir, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.manager.stop()
+        thread.join(timeout=10)

@@ -1,0 +1,107 @@
+"""A tiny urllib client for the DSE service (tests, CI, load smoke).
+
+No third-party HTTP stack — :mod:`urllib.request` against the stdlib
+server keeps the client importable anywhere the package is.  Error
+responses surface as :class:`ServeError` carrying the HTTP status and
+the server's ``error`` message; :meth:`ServeClient.raw_results` returns
+the served bytes untouched for byte-identity assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(RuntimeError):
+    """An HTTP error response from the service."""
+
+    def __init__(self, status, message):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+        self.message = message
+
+
+class ServeClient:
+    """Talk to one server: submit studies, poll status, fetch results."""
+
+    def __init__(self, base_url, timeout=30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, path, data=None) -> bytes:
+        url = f"{self.base_url}{path}"
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                message = json.loads(body).get("error", body.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = body.decode("utf-8", "replace")
+            raise ServeError(exc.code, message) from None
+
+    def _json(self, path, payload=None):
+        data = None
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+        return json.loads(self._request(path, data=data))
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> dict:
+        return self._json("/health")
+
+    def submit(self, request: dict) -> dict:
+        """POST a study; returns the submission info (id, cache_hit, ...)."""
+        return self._json("/jobs", payload=request)
+
+    def jobs(self) -> list:
+        return self._json("/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._json(f"/jobs/{job_id}")
+
+    def results(self, job_id: str) -> dict:
+        return self._json(f"/jobs/{job_id}/results")
+
+    def raw_results(self, job_id: str) -> bytes:
+        """The results document's exact bytes (byte-identity checks)."""
+        return self._request(f"/jobs/{job_id}/results")
+
+    def wait(self, job_id: str, timeout=300.0, poll=0.2) -> dict:
+        """Poll until the job leaves the queue; returns its final status.
+
+        Raises :class:`TimeoutError` if the job is still running at the
+        deadline and :class:`ServeError` never (a *failed* job is a
+        terminal status here — callers decide how loud to be).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s "
+                    f"({status.get('done', 0)}/{status.get('grid_size', '?')} points)"
+                )
+            time.sleep(poll)
+
+    def run(self, request: dict, timeout=300.0, poll=0.2) -> dict:
+        """Submit, wait, and return the parsed results document."""
+        info = self.submit(request)
+        status = self.wait(info["id"], timeout=timeout, poll=poll)
+        if status["state"] == "failed":
+            raise ServeError(409, status.get("error", "job failed"))
+        return self.results(info["id"])

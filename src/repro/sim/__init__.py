@@ -53,6 +53,7 @@ from .evaluator import (
     Evaluator,
     HybridEvaluator,
     UnsupportedParameterError,
+    dse_parameter_names,
     evaluator_from_spec,
     evaluator_spec,
     resolve_evaluator,
@@ -73,6 +74,7 @@ __all__ = [
     "CycleSimEvaluator",
     "BatchedCycleSimEvaluator",
     "HybridEvaluator",
+    "dse_parameter_names",
     "resolve_evaluator",
     "evaluator_spec",
     "evaluator_from_spec",

@@ -78,6 +78,7 @@ __all__ = [
     "HybridEvaluator",
     "apply_dse_parameter",
     "dse_grid_columns",
+    "dse_parameter_names",
     "resolve_evaluator",
     "evaluator_spec",
     "evaluator_from_spec",
@@ -276,6 +277,16 @@ def _unknown_parameter(name):
     return KeyError(
         f"unknown DSE parameter {name!r}; choose from " + ", ".join(_DSE_PARAMETERS)
     )
+
+
+def dse_parameter_names() -> tuple:
+    """The swept parameter names the DSE layer understands, sorted.
+
+    The public face of the parameter table for wire-format validators
+    (the serve layer rejects a posted grid naming anything else *before*
+    a store is created) and error messages.
+    """
+    return tuple(sorted(_DSE_PARAMETERS))
 
 
 def apply_dse_parameter(config, accel_kwargs, name, value):
@@ -651,33 +662,83 @@ def evaluator_spec(evaluator) -> dict:
     return {"name": f"custom:{name}"}
 
 
+#: Per-strategy key allowlists for :func:`evaluator_from_spec`.  Specs
+#: arrive over the wire (store manifests, the serve layer's job API), so
+#: a misspelt or injected field must fail loudly instead of being
+#: silently dropped — ``{"name": "cycle", "engin": "scalar"}`` would
+#: otherwise score a different study than the caller asked for.
+_SPEC_KEYS = {
+    "analytical": frozenset({"name"}),
+    "cycle": frozenset({"name", "engine", "scan"}),
+    "hybrid": frozenset({"name", "coarse", "fine", "adaptive", "band_slack"}),
+}
+_CYCLE_ENGINES = ("vectorized", "scalar")
+_CYCLE_SCANS = ("split", "fused")
+
+
+def _spec_error(spec, problem):
+    return ValueError(f"bad evaluator spec {spec!r}: {problem}")
+
+
 def evaluator_from_spec(spec) -> Evaluator:
     """Reconstruct an evaluator from an :func:`evaluator_spec` dict.
 
-    Accepts a bare name string as shorthand for ``{"name": ...}``.
-    ``custom:*`` specs (and unknown names) raise: a spec names a strategy
-    across hosts, it cannot ship code — reconstruct the instance and pass
-    it explicitly instead.
+    Accepts a bare name string as shorthand for ``{"name": ...}``.  The
+    spec is *validated*, not merely pattern-matched: unknown fields, an
+    engine/scan outside the simulator's vocabulary, or a non-boolean
+    ``adaptive`` raise :class:`ValueError` with the offending field named
+    — specs cross host and process boundaries (store manifests, the HTTP
+    job API), where a silently-tolerated typo would score a different
+    study than the one requested.  ``custom:*`` specs (and unknown
+    names) raise too: a spec names a strategy across hosts, it cannot
+    ship code — reconstruct the instance and pass it explicitly instead.
+    The round-trip ``evaluator_from_spec(evaluator_spec(e))`` is exact
+    for every built-in.
     """
     if isinstance(spec, str):
         spec = {"name": spec}
+    if not isinstance(spec, dict):
+        raise TypeError(f"evaluator spec must be a name or a dict, got {type(spec)!r}")
     name = spec.get("name")
+    if not isinstance(name, str):
+        raise _spec_error(spec, "missing or non-string 'name'")
+    allowed = _SPEC_KEYS.get(name)
+    if allowed is None:
+        raise ValueError(
+            f"cannot reconstruct evaluator from spec {spec!r}; choose from "
+            f"{sorted(_SPEC_KEYS)} (custom evaluators must be "
+            "re-instantiated and passed explicitly)"
+        )
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        raise _spec_error(
+            spec, f"unknown field(s) {unknown} for {name!r} "
+            f"(allowed: {sorted(allowed)})"
+        )
     if name == "analytical":
         return BatchedAnalyticalEvaluator()
     if name == "cycle":
-        return BatchedCycleSimEvaluator(
-            engine=spec.get("engine", "vectorized"), scan=spec.get("scan", "split")
-        )
-    if name == "hybrid":
-        coarse = spec.get("coarse")
-        fine = spec.get("fine")
+        engine = spec.get("engine", "vectorized")
+        if engine not in _CYCLE_ENGINES:
+            raise _spec_error(spec, f"engine must be one of {_CYCLE_ENGINES}")
+        scan = spec.get("scan", "split")
+        if scan not in _CYCLE_SCANS:
+            raise _spec_error(spec, f"scan must be one of {_CYCLE_SCANS}")
+        return BatchedCycleSimEvaluator(engine=engine, scan=scan)
+    adaptive = spec.get("adaptive", False)
+    if not isinstance(adaptive, bool):
+        raise _spec_error(spec, "'adaptive' must be a boolean")
+    band_slack = spec.get("band_slack", 0.25)
+    if isinstance(band_slack, bool) or not isinstance(band_slack, (int, float)):
+        raise _spec_error(spec, "'band_slack' must be a number in [0, 1)")
+    coarse = spec.get("coarse")
+    fine = spec.get("fine")
+    try:
         return HybridEvaluator(
             coarse=evaluator_from_spec(coarse) if coarse else None,
             fine=evaluator_from_spec(fine) if fine else None,
-            adaptive=bool(spec.get("adaptive", False)),
-            band_slack=float(spec.get("band_slack", 0.25)),
+            adaptive=adaptive,
+            band_slack=float(band_slack),
         )
-    raise ValueError(
-        f"cannot reconstruct evaluator from spec {spec!r}; custom "
-        "evaluators must be re-instantiated and passed explicitly"
-    )
+    except ValueError as exc:
+        raise _spec_error(spec, str(exc)) from None

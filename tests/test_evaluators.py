@@ -321,3 +321,57 @@ class TestEvaluatorSpecs:
                               energy_joules=9.87654321e-3)
         data = json.loads(json.dumps(metrics.to_dict()))
         assert EvalMetrics.from_dict(data) == metrics
+
+
+class TestSpecHardening:
+    """Wire-format strictness: specs now cross trust boundaries (serve)."""
+
+    def test_string_shorthand(self):
+        from repro.sim import evaluator_from_spec
+
+        assert evaluator_from_spec("analytical").name == "analytical"
+        assert evaluator_from_spec("hybrid").adaptive is False
+
+    def test_rejects_non_dict_specs(self):
+        from repro.sim import evaluator_from_spec
+
+        with pytest.raises(TypeError):
+            evaluator_from_spec(["analytical"])
+        with pytest.raises(ValueError, match="name"):
+            evaluator_from_spec({})
+        with pytest.raises(ValueError, match="name"):
+            evaluator_from_spec({"name": 3})
+
+    def test_rejects_unknown_names_listing_choices(self):
+        from repro.sim import evaluator_from_spec
+
+        with pytest.raises(ValueError, match="analytical.*cycle.*hybrid"):
+            evaluator_from_spec({"name": "quantum"})
+
+    @pytest.mark.parametrize(
+        "spec, match",
+        [
+            ({"name": "analytical", "engine": "scalar"}, "field"),
+            ({"name": "cycle", "turbo": True}, "field"),
+            ({"name": "cycle", "engine": "abacus"}, "engine"),
+            ({"name": "cycle", "scan": "zigzag"}, "scan"),
+            ({"name": "hybrid", "adaptive": 1}, "adaptive"),
+            ({"name": "hybrid", "band_slack": True}, "band_slack"),
+            ({"name": "hybrid", "band_slack": "wide"}, "band_slack"),
+            ({"name": "hybrid", "coarse": {"name": "cycle",
+                                           "engine": "abacus"}}, "engine"),
+        ],
+    )
+    def test_rejects_malformed_fields(self, spec, match):
+        from repro.sim import evaluator_from_spec
+
+        with pytest.raises(ValueError, match=match):
+            evaluator_from_spec(spec)
+
+    def test_parameter_names_are_the_dse_vocabulary(self):
+        from repro.sim import dse_parameter_names
+
+        names = dse_parameter_names()
+        assert names == tuple(sorted(names))
+        assert "mac_lines" in names
+        assert "ae_compression" in names
