@@ -41,6 +41,7 @@ from . import hw
 from . import baselines
 from . import compiler
 from . import roofline
+from . import obs
 from . import harness
 from . import viz
 
@@ -55,6 +56,7 @@ __all__ = [
     "baselines",
     "compiler",
     "roofline",
+    "obs",
     "harness",
     "viz",
     "__version__",

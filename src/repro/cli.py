@@ -38,6 +38,7 @@ The same studies run as a service (see :mod:`repro.serve`): POST a grid
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from . import harness
@@ -181,6 +182,14 @@ def build_parser():
                              "resume from it after a restart)")
     parser.add_argument("--serve-workers", type=int, default=2, metavar="N",
                         help="serve: shard worker threads (default 2)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="dse: write the sweep's timed spans as a "
+                             "Chrome trace-event file (open in Perfetto "
+                             "or chrome://tracing)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="serve: structured one-line access logs "
+                             "(method, path, status, duration ms) via "
+                             "the repro.serve.access logger")
     return parser
 
 
@@ -284,7 +293,7 @@ def _run(args):
                 f"--serve-workers must be >= 1, got {args.serve_workers}"
             )
         run_server(args.data_dir, host=args.host, port=args.port,
-                   workers=args.serve_workers)
+                   workers=args.serve_workers, verbose=args.verbose)
         return None
 
     if name == "fig1":
@@ -380,16 +389,26 @@ def _run(args):
         return result
 
     if name == "dse":
+        from . import obs
         from .harness.dse import sweep_design_space
         from .perf import cached_model_workload
         model = args.models[0] if args.models else "deit-tiny"
         grid = parse_grid(args.grid)
-        workload = cached_model_workload(model, sparsity=args.sparsity)
-        points = sweep_design_space(
-            workload, grid, n_jobs=args.n_jobs,
-            evaluator=_cli_evaluator(args.evaluator, args.no_batch),
-            chunksize=args.batch_size,
-        )
+        # --trace installs a span collector on the default registry for
+        # the sweep's duration; tracing observes only — the JSON result
+        # stays byte-identical with and without it.
+        tracer = obs.tracing(path=args.trace) if args.trace else None
+        with tracer if tracer is not None else contextlib.nullcontext():
+            with obs.span("dse_workload", model=model):
+                workload = cached_model_workload(model, sparsity=args.sparsity)
+            points = sweep_design_space(
+                workload, grid, n_jobs=args.n_jobs,
+                evaluator=_cli_evaluator(args.evaluator, args.no_batch),
+                chunksize=args.batch_size,
+            )
+        if args.trace:
+            print(f"wrote Chrome trace {args.trace} (load in Perfetto)",
+                  file=sys.stderr)
         return _dse_result(model, args.sparsity, args.evaluator, grid,
                            points)
 

@@ -39,6 +39,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Tuple
 
+from .. import obs
 from ..harness.dse import (
     DesignPoint,
     PointFailure,
@@ -71,6 +72,8 @@ __all__ = [
     "store_status",
 ]
 
+_log = obs.get_logger("dist.merge")
+
 
 @dataclass(frozen=True)
 class MergeResult:
@@ -85,6 +88,13 @@ class MergeResult:
 
 def _drop_failure(index, failure: PointFailure):
     """Mirror :func:`repro.harness.dse._filter_failures`' warning."""
+    _log.warning(
+        "DSE point %d %r dropped: evaluator raised %s",
+        index,
+        dict(failure.parameters),
+        failure.error,
+    )
+    obs.counter("dse_points_failed").inc()
     warnings.warn(
         f"DSE point {index} {dict(failure.parameters)!r} dropped: "
         f"evaluator raised {failure.error}",
@@ -182,6 +192,11 @@ def merge_store(store, workload=None, evaluator=None, n_jobs: int = 1) -> MergeR
     """
     store = ResultStore(store)
     manifest = store.read_manifest()
+    with obs.span("dist_merge"):
+        return _merge_loaded(store, manifest, workload, evaluator, n_jobs)
+
+
+def _merge_loaded(store, manifest, workload, evaluator, n_jobs) -> MergeResult:
     records, duplicates = _load_merged_records(store, manifest)
 
     pairs = []  # (grid_index, DesignPoint) with failures dropped
@@ -203,6 +218,9 @@ def merge_store(store, workload=None, evaluator=None, n_jobs: int = 1) -> MergeR
         dropped += fine_dropped
     else:
         points = [point for _, point in pairs]
+    obs.counter("dist_merges").inc()
+    if duplicates:
+        obs.counter("dist_duplicates_tolerated").inc(duplicates)
     return MergeResult(
         points=tuple(points),
         frontier=tuple(pareto_frontier(points)),

@@ -46,6 +46,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from .. import obs
 from ..harness.dse import PointFailure, grid_size, iter_indexed_design_points
 from ..hw.params import VITCOD_DEFAULT
 from ..perf.cache import cached_model_workload, seeded_workload
@@ -60,6 +61,8 @@ __all__ = [
     "workload_from_spec",
     "workload_fingerprint",
 ]
+
+_log = obs.get_logger("dist.runner")
 
 #: Grid indices claimed per steal batch: small enough that several
 #: stealers share one straggler's backlog, large enough that
@@ -189,7 +192,11 @@ def _owed_indices(size: int, shard: ShardSpec, recorded) -> list:
     shard's own slice and the recorded set it covers the whole grid.
     """
     own = set(shard.indices(size))
-    return [index for index in range(size) if index not in recorded and index not in own]
+    return [
+        index
+        for index in range(size)
+        if index not in recorded and index not in own
+    ]
 
 
 def _steal_batches(owed, chunk):
@@ -234,9 +241,18 @@ def _try_claim(path: Path, shard, ttl: float) -> bool:
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         tmp.write_text(payload + "\n")
         os.replace(tmp, path)
+        obs.counter("dist_steal_claims").inc()
+        obs.counter("dist_claim_takeovers").inc()
+        _log.info(
+            "shard %s took over abandoned claim %s (%.1fs old)",
+            shard,
+            path.name,
+            age,
+        )
         return True
     with os.fdopen(fd, "w") as fh:
         fh.write(payload + "\n")
+    obs.counter("dist_steal_claims").inc()
     return True
 
 
@@ -331,6 +347,7 @@ def _steal_missing(
                     if handicap:
                         time.sleep(handicap)
                     out.append(encode_record(index, result))
+                    obs.counter("dist_records_stolen").inc()
                     stolen += 1
                 _release_claim(claim)
                 progressed = True
@@ -439,6 +456,9 @@ def run_shard(
     todo = [index for index in owned if index not in done and index not in covered]
     failed = sum(1 for record in done.values() if "err" in record)
     evaluated = 0
+    registry = obs.get_registry()
+    if registry.enabled and len(owned) > len(todo):
+        registry.counter("dist_resume_skips").inc(len(owned) - len(todo))
 
     def pending():
         for index in todo:
@@ -456,35 +476,46 @@ def run_shard(
         evaluator=point_evaluator,
         keep_failures=True,
     )
-    with JsonlAppender(path) as out:
-        for index, result in stream:
-            if coverage.covered(index):
-                # A stealer persisted this index while its chunk was in
-                # flight; recording it again would only add a tolerated
-                # duplicate.
-                continue
-            if handicap:
-                time.sleep(handicap)
-            out.append(encode_record(index, result))
-            evaluated += 1
-            if isinstance(result, PointFailure):
-                failed += 1
+    with obs.span("dist_shard", shard=str(shard)):
+        with JsonlAppender(path) as out:
+            for index, result in stream:
+                if coverage.covered(index):
+                    # A stealer persisted this index while its chunk was in
+                    # flight; recording it again would only add a tolerated
+                    # duplicate.
+                    continue
+                if handicap:
+                    time.sleep(handicap)
+                out.append(encode_record(index, result))
+                obs.counter("dist_records_written").inc()
+                evaluated += 1
+                if isinstance(result, PointFailure):
+                    obs.counter("dist_failure_records").inc()
+                    failed += 1
 
-    stolen = 0
-    if steal:
-        stolen = _steal_missing(
-            workload,
-            grid,
-            shard,
-            store,
-            base_config,
-            point_evaluator,
-            n_jobs,
-            chunksize,
-            steal_chunk or _STEAL_CHUNK,
-            claim_ttl,
-            handicap,
-        )
+        stolen = 0
+        if steal:
+            stolen = _steal_missing(
+                workload,
+                grid,
+                shard,
+                store,
+                base_config,
+                point_evaluator,
+                n_jobs,
+                chunksize,
+                steal_chunk or _STEAL_CHUNK,
+                claim_ttl,
+                handicap,
+            )
+    _log.info(
+        "shard %s: %d evaluated, %d skipped, %d failed, %d stolen",
+        shard,
+        evaluated,
+        len(owned) - evaluated,
+        failed,
+        stolen,
+    )
     return ShardRunResult(
         shard=shard,
         store=store.root,

@@ -74,6 +74,7 @@ from typing import Dict, Iterable, Iterator, List, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..hw.params import VITCOD_DEFAULT, HardwareConfig
 from ..hw.workload import ModelWorkload
 from ..perf.cache import seed_worker_workload, seeded_workload
@@ -97,6 +98,8 @@ __all__ = [
     "pareto_frontier",
     "sensitivity",
 ]
+
+_log = obs.get_logger("harness.dse")
 
 
 @dataclass(frozen=True)
@@ -255,6 +258,14 @@ def _evaluate_chunk(workload, base_config, names, chunk, evaluator):
             # systematically broken batch implementation would otherwise
             # degrade every chunk silently, producing correct results at
             # none of the batched speed.
+            _log.warning(
+                "evaluate_batch failed (%s: %s); scoring this %d-point "
+                "chunk per point",
+                type(exc).__name__,
+                exc,
+                len(chunk),
+            )
+            obs.counter("dse_batch_fallbacks").inc()
             warnings.warn(
                 f"evaluate_batch failed ({type(exc).__name__}: {exc}); "
                 f"scoring this {len(chunk)}-point chunk per point",
@@ -542,11 +553,13 @@ def _piloted_stream(
                 workload, base_config, names, pilot_chunk, evaluator
             )
             per_point = (perf_counter() - begin) / len(pilot_chunk)
+            _note_chunk(pilot)
             yield from _filter_failures(pilot)
             n_jobs, chunksize = _plan_parallel(
                 per_point, total - len(pilot_chunk), n_jobs, threshold
             )
             chunksize = None if n_jobs == 1 else min(chunksize, _BATCH_CHUNK)
+            _note_pilot(n_jobs, chunksize)
     elif n_jobs > 1 and threshold > 0 and total > _PILOT_POINTS:
         begin = perf_counter()
         pilot = [
@@ -560,6 +573,7 @@ def _piloted_stream(
         )
         if n_jobs == 1:
             chunksize = None
+        _note_pilot(n_jobs, chunksize)
     yield from _stream_evaluations(
         workload, base_config, names, indexed, n_jobs, chunksize, evaluator
     )
@@ -651,10 +665,44 @@ def _adaptive_fine(workload, base_config, names, survivors, evaluator, objective
     return results
 
 
+def _note_chunk(pairs):
+    """Count one completed chunk's results into the telemetry registry.
+
+    Called once per dispatched chunk in the consumer process (pool chunks
+    are counted on arrival — worker-process registries don't survive the
+    hop).  A disabled registry — the default — costs one attribute check.
+    """
+    registry = obs.get_registry()
+    if not registry.enabled:
+        return
+    failed = sum(1 for _, point in pairs if isinstance(point, _PointFailure))
+    registry.counter("dse_chunks_dispatched").inc()
+    if len(pairs) > failed:
+        registry.counter("dse_points_scored").inc(len(pairs) - failed)
+
+
+def _note_pilot(n_jobs, chunksize):
+    """Record the pilot's pool decision (see :func:`_plan_parallel`)."""
+    registry = obs.get_registry()
+    if not registry.enabled:
+        return
+    mode = "serial" if n_jobs == 1 else "parallel"
+    registry.counter("dse_pilot_decisions", mode=mode).inc()
+    if n_jobs > 1 and chunksize:
+        registry.gauge("dse_pilot_chunk_size").set(chunksize)
+
+
 def _filter_failures(pairs):
     """Pass ``(index, DesignPoint)`` pairs through; warn-and-drop failures."""
     for index, point in pairs:
         if isinstance(point, _PointFailure):
+            _log.warning(
+                "DSE point %d %r dropped: evaluator raised %s",
+                index,
+                dict(point.parameters),
+                point.error,
+            )
+            obs.counter("dse_points_failed").inc()
             warnings.warn(
                 f"DSE point {index} {dict(point.parameters)!r} dropped: "
                 f"evaluator raised {point.error}",
@@ -702,9 +750,12 @@ def _stream_evaluations(
             # an early-stopping consumer evaluates at most one chunk
             # beyond what it takes.
             for chunk in _chunked(indexed, chunksize or _BATCH_CHUNK):
-                yield from sieve(
-                    _evaluate_chunk(workload, base_config, names, chunk, evaluator)
-                )
+                with obs.span("dse_chunk"):
+                    scored = _evaluate_chunk(
+                        workload, base_config, names, chunk, evaluator
+                    )
+                _note_chunk(scored)
+                yield from sieve(scored)
             return
         pairs = (
             _scored_pair(workload, base_config, names, evaluator, index, row)
@@ -724,6 +775,7 @@ def _stream_evaluations(
     except OSError:
         pool = ThreadPoolExecutor(max_workers=n_jobs)
         task_workload = workload
+    obs.counter("dse_pool_spawns").inc()
 
     def submit(chunk):
         return pool.submit(
@@ -740,7 +792,9 @@ def _stream_evaluations(
                 chunk = next(chunks, None)
                 if chunk is not None:
                     pending.add(submit(chunk))
-                yield from sieve(future.result())
+                scored = future.result()
+                _note_chunk(scored)
+                yield from sieve(scored)
         pool.shutdown(wait=True)
     finally:
         # An abandoned stream (consumer stopped early) must not block on
@@ -1052,7 +1106,8 @@ def sweep_design_space(
             chunksize=chunksize,
             min_parallel_s=min_parallel_s,
         )
-        return list(hybrid_stream)
+        with obs.span("dse_sweep", evaluator="hybrid", points=grid_size(grid)):
+            return list(hybrid_stream)
     names, combos = _resolve_grid(grid)
     combos = list(combos)
     base_config = base_config or VITCOD_DEFAULT
@@ -1077,8 +1132,9 @@ def sweep_design_space(
             evaluator,
         )
     points: List[DesignPoint] = [None] * len(combos)
-    for index, point in stream:
-        points[index] = point
+    with obs.span("dse_sweep", points=len(combos)):
+        for index, point in stream:
+            points[index] = point
     return [point for point in points if point is not None]
 
 

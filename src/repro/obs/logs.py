@@ -1,0 +1,55 @@
+"""The ``repro`` logger hierarchy (library-quiet, opt-in handlers).
+
+Every module logs through ``repro.<layer>.<module>`` names obtained from
+:func:`get_logger`; the package root carries a ``NullHandler`` (the
+stdlib's library convention) so importing repro never prints anything.
+Applications — ``python -m repro serve --verbose``, a test with
+``caplog`` — opt in via :func:`configure_logging` or the standard
+``logging`` machinery.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["ROOT_LOGGER", "get_logger", "configure_logging"]
+
+#: The package root every repro logger descends from.
+ROOT_LOGGER = "repro"
+
+#: Attribute marking handlers installed by :func:`configure_logging`, so
+#: reconfiguration replaces ours instead of stacking duplicates.
+_HANDLER_MARK = "_repro_obs_handler"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name=None) -> logging.Logger:
+    """``get_logger("harness.dse")`` → the ``repro.harness.dse`` logger."""
+    if not name or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(level=logging.INFO, stream=None) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root (idempotent).
+
+    Calling again replaces the previously installed handler — repeated
+    ``--verbose`` boots in one process never double-log.  Returns the
+    root logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root

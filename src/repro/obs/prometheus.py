@@ -1,0 +1,81 @@
+"""Prometheus text exposition rendering — stdlib only, no client library.
+
+Renders a :class:`repro.obs.registry.Registry` into the `text exposition
+format`_ version ``0.0.4`` that every Prometheus-compatible scraper
+(Prometheus itself, VictoriaMetrics, Grafana Agent) understands:
+
+.. code-block:: text
+
+    # HELP serve_http_requests_total HTTP requests by route.
+    # TYPE serve_http_requests_total counter
+    serve_http_requests_total{method="GET",route="/health",status="200"} 3
+    # TYPE serve_http_request_seconds histogram
+    serve_http_request_seconds_bucket{route="/health",le="0.001"} 2
+    ...
+    serve_http_request_seconds_bucket{route="/health",le="+Inf"} 3
+    serve_http_request_seconds_sum{route="/health"} 0.0042
+    serve_http_request_seconds_count{route="/health"} 3
+
+.. _text exposition format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+from math import inf
+
+__all__ = ["CONTENT_TYPE", "render_metrics"]
+
+#: The Content-Type a ``/metrics`` response must declare.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value) -> str:
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _escape_help(text) -> str:
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _labels_text(labels, extra=None) -> str:
+    pairs = list(labels)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(value)}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def render_metrics(registry) -> str:
+    """The registry as Prometheus text; newline-terminated when non-empty."""
+    lines = []
+    for name, kind, help_, children in registry.collect():
+        if help_:
+            lines.append(f"# HELP {name} {_escape_help(help_)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, metric in children:
+            if kind == "histogram":
+                for bound, cumulative in metric.cumulative_buckets():
+                    le = "+Inf" if bound == inf else _format_value(bound)
+                    suffix = _labels_text(labels, ("le", le))
+                    lines.append(f"{name}_bucket{suffix} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {_format_value(metric.sum)}"
+                )
+                lines.append(f"{name}_count{_labels_text(labels)} {metric.count}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_format_value(metric.value)}"
+                )
+    lines.append("")
+    return "\n".join(lines)

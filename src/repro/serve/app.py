@@ -1,15 +1,19 @@
 """The HTTP surface: stdlib ``ThreadingHTTPServer`` over a JobManager.
 
-Four routes, all JSON:
+Six routes — JSON everywhere except the Prometheus text of ``/metrics``:
 
 ========================  ====================================================
 ``GET /health``           liveness + the manager's counters
+``GET /metrics``          the process's telemetry registry in Prometheus
+                          text exposition format (:mod:`repro.obs`)
 ``POST /jobs``            submit a study → ``{id, state, cache_hit, ...}``
                           (``201`` when this call created the job, ``200``
                           when it deduplicated onto a running one or hit the
                           result cache)
 ``GET /jobs``             brief info for every known job
 ``GET /jobs/<id>``        progress from the store ledger (done %, ETA)
+``GET /jobs/<id>/events``  the job's durable lifecycle timeline
+                          (``events.jsonl``, oldest first)
 ``GET /jobs/<id>/results``  the results document — partial while running,
                           and once done the cached text **verbatim**
                           (byte-identical to ``python -m repro dse --json``)
@@ -19,6 +23,14 @@ Errors are ``{"error": msg}``: ``400`` for malformed submissions, ``404``
 for unknown ids, ``409`` for results of a failed job.  The server is
 deliberately boring — every decision lives in :class:`.jobs.JobManager`;
 this module only parses bytes and picks status codes.
+
+Every request is timed: per-route counters and latency histograms land in
+the default :mod:`repro.obs` registry (``serve_http_requests_total``,
+``serve_http_request_seconds``), which :func:`build_server` enables so a
+served study populates the DSE/dist counters too.  ``--verbose`` emits a
+structured one-line access log per request through the
+``repro.serve.access`` logger; the stdlib's stderr printf
+(``log_message``) is silenced unconditionally.
 """
 
 from __future__ import annotations
@@ -26,15 +38,32 @@ from __future__ import annotations
 import contextlib
 import json
 import re
-import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 
+from .. import obs
+from ..obs import METRICS_CONTENT_TYPE, EventLogError, render_metrics
 from .jobs import JobFailedError, JobManager, ServeRequestError, UnknownJobError
 
 __all__ = ["ServeServer", "build_server", "run_server", "serving"]
 
-_JOB_ROUTE = re.compile(r"^/jobs/([0-9a-f]{16})(/results)?$")
+_JOB_ROUTE = re.compile(r"^/jobs/([0-9a-f]{16})(/results|/events)?$")
+
+_access_log = obs.get_logger("serve.access")
+
+
+def _route_template(path: str) -> str:
+    """Collapse a request path to its route label (bounded cardinality)."""
+    path = path.split("?", 1)[0]
+    if path in ("/", "/health"):
+        return "/health"
+    if path in ("/jobs", "/metrics"):
+        return path
+    match = _JOB_ROUTE.match(path)
+    if match:
+        return "/jobs/{id}" + (match.group(2) or "")
+    return "(unmatched)"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -46,12 +75,13 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.manager
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if self.server.verbose:
-            sys.stderr.write("%s - %s\n" % (self.address_string(), format % args))
+        """Silenced: the structured access log in :meth:`_dispatch`
+        replaces the stdlib's per-request stderr printf."""
 
     # -- plumbing ------------------------------------------------------
     def _send(self, code, text, content_type="application/json"):
         body = text.encode("utf-8")
+        self._status = code
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -64,12 +94,63 @@ class _Handler(BaseHTTPRequestHandler):
     def _error(self, code, message):
         self._send_json(code, {"error": str(message)})
 
+    def _dispatch(self, method, route_handler):
+        """Time one request and record it: counters, histogram, access log.
+
+        Telemetry wraps the route handler rather than living inside it,
+        so every route — including future ones — is measured the same
+        way, and a handler crash still records a 500.
+        """
+        begin = perf_counter()
+        self._status = None
+        try:
+            route_handler()
+        finally:
+            duration = perf_counter() - begin
+            status = self._status if self._status is not None else 500
+            route = _route_template(self.path)
+            registry = obs.get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "serve_http_requests_total",
+                    help="HTTP requests by method, route and status.",
+                    method=method,
+                    route=route,
+                    status=str(status),
+                ).inc()
+                registry.histogram(
+                    "serve_http_request_seconds",
+                    help="HTTP request latency by route.",
+                    route=route,
+                ).observe(duration)
+            if self.server.verbose:
+                _access_log.info(
+                    "method=%s path=%s status=%s duration_ms=%.2f",
+                    method,
+                    self.path.split("?", 1)[0],
+                    status,
+                    duration * 1000.0,
+                )
+
     # -- routes --------------------------------------------------------
     def do_GET(self):
+        self._dispatch("GET", self._route_get)
+
+    def do_POST(self):
+        self._dispatch("POST", self._route_post)
+
+    def _route_get(self):
         path = self.path.split("?", 1)[0]
         if path in ("/", "/health"):
             self._send_json(
                 200, {"ok": True, "service": "repro-serve", "stats": self.manager.stats}
+            )
+            return
+        if path == "/metrics":
+            self._send(
+                200,
+                render_metrics(obs.get_registry()),
+                content_type=METRICS_CONTENT_TYPE,
             )
             return
         if path == "/jobs":
@@ -79,21 +160,28 @@ class _Handler(BaseHTTPRequestHandler):
         if match is None:
             self._error(404, f"no route {path!r}")
             return
-        job_id, want_results = match.group(1), bool(match.group(2))
+        job_id, suffix = match.group(1), match.group(2) or ""
         try:
-            if want_results:
+            if suffix == "/results":
                 # The results document is pre-rendered text; send it
                 # verbatim — these bytes are the byte-identity contract.
                 text, _partial = self.manager.results(job_id)
                 self._send(200, text)
+            elif suffix == "/events":
+                events = self.manager.events(job_id)
+                self._send_json(
+                    200, {"id": job_id, "count": len(events), "events": events}
+                )
             else:
                 self._send_json(200, self.manager.status(job_id))
         except UnknownJobError:
             self._error(404, f"unknown job {job_id!r}")
         except JobFailedError as exc:
             self._error(409, f"job {job_id} failed: {exc}")
+        except EventLogError as exc:
+            self._error(500, f"event stream unreadable: {exc}")
 
-    def do_POST(self):
+    def _route_post(self):
         path = self.path.split("?", 1)[0]
         if path != "/jobs":
             self._error(404, f"no route {path!r}")
@@ -149,8 +237,11 @@ def build_server(
 
     ``port=0`` binds an ephemeral port (read it back from ``.port``).
     Resumption happens *before* the first request can land: a restarted
-    server already owes its half-done studies to the queue.
+    server already owes its half-done studies to the queue.  Enables the
+    default telemetry registry — a serving process is exactly the process
+    whose ``/metrics`` should be live.
     """
+    obs.enable()
     manager = JobManager(
         data_dir,
         workers=workers,
@@ -163,6 +254,8 @@ def build_server(
 
 def run_server(data_dir, host="127.0.0.1", port=8765, workers=2, verbose=False):
     """Blocking entry point behind ``python -m repro serve``."""
+    if verbose:
+        obs.configure_logging()
     server = build_server(
         data_dir, host=host, port=port, workers=workers, verbose=verbose
     )

@@ -75,6 +75,14 @@ class ServeClient:
     def results(self, job_id: str) -> dict:
         return self._json(f"/jobs/{job_id}/results")
 
+    def events(self, job_id: str) -> list:
+        """The job's durable lifecycle timeline, oldest record first."""
+        return self._json(f"/jobs/{job_id}/events")["events"]
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — Prometheus text exposition, verbatim."""
+        return self._request("/metrics").decode("utf-8")
+
     def raw_results(self, job_id: str) -> bytes:
         """The results document's exact bytes (byte-identity checks)."""
         return self._request(f"/jobs/{job_id}/results")

@@ -9,6 +9,7 @@ durable form is one directory:
     data_dir/jobs/<job_id>/
       job.json      # the normalised request (exclusive-created, atomic)
       store/        # a repro.dist ResultStore: the shards' ledger
+      events.jsonl  # append-only lifecycle timeline (repro.obs.events)
       result.json   # rendered results, present iff the job is done
       error.json    # present iff the job failed structurally
 
@@ -41,7 +42,9 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import obs
 from ..dist.merge import merge_store, store_status
+from ..obs.events import EventLog
 from ..dist.runner import (
     model_workload_spec,
     run_shard,
@@ -80,8 +83,11 @@ JOB_SCHEMA = "repro-serve/1"
 
 JOB_NAME = "job.json"
 ERROR_NAME = "error.json"
+EVENTS_NAME = "events.jsonl"
 
 _STOP = object()
+
+_log = obs.get_logger("serve.jobs")
 
 _REQUEST_FIELDS = frozenset(
     {
@@ -166,6 +172,7 @@ class JobManager:
         }
         self._jobs = {}
         self._lock = threading.RLock()
+        self._events_lock = threading.Lock()
         self._queue = queue.Queue()
         self._threads = []
         for index in range(int(workers)):
@@ -174,6 +181,29 @@ class JobManager:
             )
             thread.start()
             self._threads.append(thread)
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    def _bump(self, key):
+        """Increment a stats counter and its telemetry mirror."""
+        self.stats[key] += 1
+        obs.counter(f"serve_{key}").inc()
+
+    def _event(self, root, kind, **fields):
+        """Append one record to a job's durable ``events.jsonl`` timeline."""
+        record = {"t": time.time(), "event": kind, **fields}
+        with self._events_lock:
+            EventLog(Path(root) / EVENTS_NAME).append(record)
+
+    def _note_transition(self, job, state, **fields):
+        """Count a lifecycle transition and append it to the timeline."""
+        obs.counter(
+            "serve_job_transitions",
+            help="Job lifecycle transitions by target state.",
+            state=state,
+        ).inc()
+        self._event(job.root, state, **fields)
 
     # ------------------------------------------------------------------
     # Request validation
@@ -326,16 +356,18 @@ class JobManager:
             "created": time.time(),
         }
         with self._lock:
-            self.stats["submitted"] += 1
+            self._bump("submitted")
             if self.cache.lookup(job_id) is not None:
-                self.stats["cache_hits"] += 1
+                self._bump("cache_hits")
                 job = self._jobs.get(job_id)
                 if job is None:
                     job = self._register(job_id, record, state="done")
+                self._event(job.root, "cache_hit")
                 return self._submit_info(job, cache_hit=True, created=False)
             job = self._jobs.get(job_id)
             if job is not None and job.state != "failed":
-                self.stats["deduplicated"] += 1
+                self._bump("deduplicated")
+                self._event(job.root, "deduplicated")
                 return self._submit_info(job, cache_hit=False, created=False)
             job_root = self.jobs_root / job_id
             created = self._publish_job_record(job_root, record)
@@ -349,6 +381,14 @@ class JobManager:
                 raise ServeRequestError(
                     f"job {job_id} has a conflicting store on disk: {exc}"
                 ) from None
+            self._event(
+                job_root,
+                "submitted",
+                created=created,
+                evaluator=record["evaluator"]["name"],
+                grid_size=grid_size(record["grid"]),
+                n_shards=int(record["n_shards"]),
+            )
             job = self._enqueue(job_id, record)
             return self._submit_info(job, cache_hit=False, created=created)
 
@@ -391,6 +431,7 @@ class JobManager:
         (job.root / ERROR_NAME).unlink(missing_ok=True)
         for k in sorted(job.remaining):
             self._queue.put((job_id, k))
+        self._note_transition(job, "queued", n_shards=job.n_shards)
         return job
 
     def _submit_info(self, job, cache_hit, created) -> dict:
@@ -434,11 +475,15 @@ class JobManager:
         with self._lock:
             if job.state == "failed":
                 return  # a sibling shard already poisoned the job
-            if job.state == "queued":
+            started = job.state == "queued"
+            if started:
                 job.state = "running"
+        if started:
+            self._note_transition(job, "running")
+        self._event(job.root, "shard_started", shard=shard_index)
         try:
             workload = workload_from_spec(job.request["workload_spec"])
-            run_shard(
+            run = run_shard(
                 workload,
                 job.request["grid"],
                 f"{shard_index}/{job.n_shards}",
@@ -448,16 +493,25 @@ class JobManager:
                 workload_spec=job.request["workload_spec"],
                 handicap=job.request.get("handicap", 0.0),
             )
-            self.stats["shards_run"] += 1
+            self._bump("shards_run")
         except Exception as exc:  # noqa: BLE001 - job poisoning, reported
             self._fail(job, exc)
             return
+        self._event(
+            job.root,
+            "shard_finished",
+            shard=shard_index,
+            evaluated=run.evaluated,
+            skipped=run.skipped,
+            failed=run.failed,
+        )
         with self._lock:
             job.remaining.discard(shard_index)
             ready = not job.remaining and job.state == "running"
             if ready:
                 job.state = "merging"
         if ready:
+            self._note_transition(job, "merging")
             try:
                 self._merge(job)
             except Exception as exc:  # noqa: BLE001
@@ -478,18 +532,27 @@ class JobManager:
         self.cache.store(job.job_id, to_json(payload))
         with self._lock:
             job.state = "done"
-            self.stats["jobs_completed"] += 1
+            self._bump("jobs_completed")
+        self._note_transition(
+            job,
+            "done",
+            points=len(merged.points),
+            frontier=len(merged.frontier),
+            duplicates=merged.duplicates,
+        )
 
     def _fail(self, job, exc):
         error = f"{type(exc).__name__}: {exc}"
+        _log.error("job %s failed: %s", job.job_id, error)
         with self._lock:
             job.state = "failed"
             job.error = error
-            self.stats["jobs_failed"] += 1
+            self._bump("jobs_failed")
         path = job.root / ERROR_NAME
         tmp = path.with_name(f"{ERROR_NAME}.tmp.{os.getpid()}")
         tmp.write_text(json.dumps({"error": error, "t": time.time()}) + "\n")
         os.replace(tmp, path)
+        self._note_transition(job, "failed", error=error)
 
     # ------------------------------------------------------------------
     # Observation
@@ -553,6 +616,18 @@ class JobManager:
             fine_records=progress.fine_records,
         )
         return info
+
+    def events(self, job_id) -> list:
+        """The job's durable lifecycle timeline, oldest record first.
+
+        Decoded from ``events.jsonl`` — submitted/queued/running,
+        per-shard start/finish, merging, done or failed, plus cache hits
+        and dedups landing on this job.  Torn-tail tolerant like every
+        store in this repo; raises :class:`UnknownJobError` for ids this
+        data dir has never seen.
+        """
+        job = self._get(job_id)
+        return EventLog(job.root / EVENTS_NAME).read()
 
     def results(self, job_id):
         """``(text, partial)`` — the rendered results document.
@@ -631,6 +706,7 @@ class JobManager:
                     error = json.loads(error_path.read_text()).get("error")
                     self._register(job_id, record, state="failed", error=error)
                     continue
+                self._event(job_dir, "resumed")
                 self._enqueue(job_id, record)
                 resumed.append(job_id)
         return resumed
