@@ -1,0 +1,92 @@
+"""Fault-injection overhead: chaos hooks must be (near) free when off.
+
+Same methodology as ``obs_overhead``: three timings of the same sharded
+run — the store write path is where the disabled hooks live
+(``active_plan()`` consulted per record append and per fsync barrier):
+
+* ``unhooked`` — the floor: ``active_plan`` swapped for an inert stub
+  inside the store module, so the hot path pays only the call the hooks
+  added;
+* ``disabled`` — the shipped default: no plan active, every hook takes
+  the module-global ``None`` branch;
+* ``active`` — a zero-fault plan activated (scope bound, every rate 0),
+  the cost of merely *carrying* a plan through a healthy run.
+
+The ``faults_overhead`` entry in ``BENCH_perf.json`` records all three;
+full mode asserts disabled stays under 3% of the floor — the same "no-op
+until opted in" contract as :mod:`repro.obs`.
+"""
+
+import math
+import tempfile
+
+import repro.dist.store as store_mod
+from repro.dist import merge_store, model_workload_spec, run_shard
+from repro.faults import activate, plan_from_spec
+from repro.harness.dse import sweep_design_space
+from repro.perf import benchit, cached_model_workload
+
+
+def test_faults_overhead(bench_recorder, bench_mode, monkeypatch, tmp_path):
+    full = bench_mode == "full"
+    model = "deit-tiny"
+    if full:
+        # 6 x 5 x 4 x 3 x 3 = 1080 records through the append path.
+        grid = {
+            "mac_lines": [16, 32, 64, 128, 256, 512],
+            "bandwidth_gbps": [19.2, 38.4, 76.8, 153.6, 307.2],
+            "act_buffer_kb": [64, 128, 256, 512],
+            "ae_compression": [None, 0.5, 0.25],
+            "q_forwarding_hit_rate": [0.0, 0.3, 0.6],
+        }
+    else:
+        grid = {"mac_lines": [32, 64], "ae_compression": [None, 0.5]}
+    grid_points = math.prod(len(v) for v in grid.values())
+    spec = model_workload_spec(model, sparsity=0.9)
+    workload = cached_model_workload(model, sparsity=0.9)
+    expected = sweep_design_space(workload, grid)
+    repeats = 7 if full else 2
+
+    def sharded_run():
+        # A fresh store per call: resume-skipping would otherwise turn
+        # every repeat after the first into a no-op.
+        store = tempfile.mkdtemp(dir=tmp_path)
+        run_shard(workload, grid, "1/1", store, workload_spec=spec)
+        return store
+
+    assert list(merge_store(sharded_run()).points) == expected
+
+    with monkeypatch.context() as mp:
+        mp.setattr(store_mod, "active_plan", lambda: None)
+        floor = benchit(sharded_run, name="unhooked", repeats=repeats,
+                        warmup=1)
+
+    disabled = benchit(sharded_run, name="disabled", repeats=repeats,
+                       warmup=1)
+
+    plan = plan_from_spec({"seed": 0}).scoped(tmp_path)
+    with activate(plan):
+        store = sharded_run()  # a carried plan never alters results
+        assert list(merge_store(store).points) == expected
+        active = benchit(sharded_run, name="active", repeats=repeats,
+                         warmup=1)
+
+    overhead_disabled = disabled.best / floor.best - 1.0
+    overhead_active = active.best / floor.best - 1.0
+    bench_recorder.record(
+        "faults_overhead",
+        model=model,
+        grid_points=grid_points,
+        unhooked=floor.to_dict(),
+        disabled=disabled.to_dict(),
+        active=active.to_dict(),
+        overhead_disabled=overhead_disabled,
+        overhead_active=overhead_active,
+    )
+    if full:
+        assert overhead_disabled < 0.03, (
+            f"disabled fault hooks cost {overhead_disabled:.1%} (>3%)"
+        )
+        assert overhead_active < 0.10, (
+            f"a zero-fault plan costs {overhead_active:.1%} (>10%)"
+        )

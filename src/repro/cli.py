@@ -27,6 +27,14 @@ missing indices of slower shards — see :mod:`repro.dist`):
 
     python -m repro dse-shard --shard 1/3@4,1,1 --out store/ --steal
 
+Chaos-ready operation (see :mod:`repro.faults` and :mod:`repro.dist.fleet`):
+a supervisor keeps N shard subprocesses alive under crashes and hangs,
+and a seeded fault plan makes failures reproducible:
+
+    python -m repro dse-fleet --out store/ --num-shards 3 --steal \\
+        --faults '{"seed": 7, "evaluator_error_rate": 0.1}'
+    python -m repro dse-status store/ --stall-after 60
+
 The same studies run as a service (see :mod:`repro.serve`): POST a grid
 + evaluator spec, poll progress, fetch results byte-identical to the
 ``dse`` command's ``--json`` output:
@@ -61,6 +69,8 @@ EXPERIMENTS = {
     "polarize": "run Algorithm 1 and draw the mask",
     "dse": "design-space sweep + Pareto frontier",
     "dse-shard": "evaluate one K/N shard of a sweep into a result store",
+    "dse-fleet": "supervise N dse-shard subprocesses (heartbeats, "
+                 "crash/hang relaunch with backoff)",
     "dse-merge": "merge a sharded store into the full sweep + frontier",
     "dse-status": "per-shard progress of a sharded sweep store",
     "serve": "run the HTTP DSE job service over a durable data dir",
@@ -172,6 +182,37 @@ def build_parser():
                         help="dse-shard: sleep this long per recorded "
                              "point (an artificial straggler for "
                              "stealing tests and benchmarks)")
+    parser.add_argument("--faults", metavar="JSON|PATH", default=None,
+                        help="dse/dse-shard/dse-fleet: a seeded fault "
+                             "plan (inline JSON object or a file "
+                             "holding one) injected around evaluation "
+                             "and the store write path — see "
+                             "repro.faults and the README failure "
+                             "runbook")
+    parser.add_argument("--max-point-retries", type=int, default=None,
+                        metavar="N",
+                        help="dse-shard/dse-fleet: transient-failure "
+                             "re-evaluations budgeted per grid point "
+                             "(default 4; 0 persists first failures)")
+    parser.add_argument("--heartbeat", metavar="PATH", default=None,
+                        help="dse-shard: touch this file once per "
+                             "durable record (dse-fleet's hang signal)")
+    parser.add_argument("--num-shards", type=int, default=3, metavar="N",
+                        help="dse-fleet: shard subprocesses to "
+                             "supervise (default 3)")
+    parser.add_argument("--hang-after", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="dse-fleet: heartbeat staleness that "
+                             "counts as a hang and draws a SIGKILL + "
+                             "relaunch (default 30)")
+    parser.add_argument("--max-restarts", type=int, default=3, metavar="N",
+                        help="dse-fleet: relaunches per shard before "
+                             "it is abandoned (default 3)")
+    parser.add_argument("--stall-after", type=float, default=None,
+                        metavar="SECONDS",
+                        help="dse-status: flag incomplete shards whose "
+                             "newest record is older than this as "
+                             "STALLED")
     parser.add_argument("--port", type=int, default=8765,
                         help="serve: TCP port to listen on (default 8765; "
                              "0 picks an ephemeral port)")
@@ -182,6 +223,19 @@ def build_parser():
                              "resume from it after a restart)")
     parser.add_argument("--serve-workers", type=int, default=2, metavar="N",
                         help="serve: shard worker threads (default 2)")
+    parser.add_argument("--max-pending", type=int, default=1024, metavar="N",
+                        help="serve: bound on queued shard tasks; "
+                             "submissions that would overflow it get "
+                             "HTTP 503 + Retry-After (default 1024)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="serve: watchdog timeout per shard task "
+                             "(default: none); a task over budget "
+                             "counts as a failure and consumes a retry")
+    parser.add_argument("--task-retries", type=int, default=2, metavar="N",
+                        help="serve: per-shard-task retries (with "
+                             "backoff) before a job goes failed "
+                             "(default 2)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="dse: write the sweep's timed spans as a "
                              "Chrome trace-event file (open in Perfetto "
@@ -220,6 +274,37 @@ def _cli_evaluator(name, no_batch):
             coarse=AnalyticalEvaluator(), fine=CycleSimEvaluator()
         )
     return name
+
+
+def _load_fault_plan(arg):
+    """Parse ``--faults`` (inline JSON object, or a path to one).
+
+    Returns the validated spec dict, or None when the flag was absent.
+    Validation failures surface as :class:`SystemExit` with the plan
+    field that was wrong, before any evaluator or store work starts.
+    """
+    if not arg:
+        return None
+    import json
+
+    from .faults import FaultPlanError, plan_from_spec
+
+    text = arg
+    if not arg.lstrip().startswith("{"):
+        try:
+            with open(arg) as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise SystemExit(f"--faults: cannot read {arg!r}: {exc}")
+    try:
+        spec = json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"--faults: invalid JSON: {exc}")
+    try:
+        plan_from_spec(spec)
+    except FaultPlanError as exc:
+        raise SystemExit(f"--faults: {exc}")
+    return spec
 
 
 def _format_eta(eta_seconds):
@@ -267,11 +352,12 @@ def _dse_result(model, sparsity, evaluator_name, grid, points):
 def _run(args):
     models = tuple(args.models) if args.models else harness.DEFAULT_MODELS
     name = args.experiment
-    if args.store is not None and name not in ("dse-shard", "dse-merge",
-                                               "dse-status"):
+    if args.store is not None and name not in ("dse-shard", "dse-fleet",
+                                               "dse-merge", "dse-status"):
         raise SystemExit(
-            f"unexpected positional argument {args.store!r}: only "
-            "dse-shard/dse-merge/dse-status take a store directory"
+            f"unexpected positional argument {args.store!r}: only the "
+            "dse-shard/dse-fleet/dse-merge/dse-status commands take a "
+            "store directory"
         )
     if args.batch_size is not None and args.batch_size < 1:
         raise SystemExit(
@@ -292,8 +378,24 @@ def _run(args):
             raise SystemExit(
                 f"--serve-workers must be >= 1, got {args.serve_workers}"
             )
+        if args.max_pending < 1:
+            raise SystemExit(
+                f"--max-pending must be >= 1, got {args.max_pending}"
+            )
+        if args.task_timeout is not None and args.task_timeout <= 0:
+            raise SystemExit(
+                f"--task-timeout must be positive seconds, got "
+                f"{args.task_timeout}"
+            )
+        if args.task_retries < 0:
+            raise SystemExit(
+                f"--task-retries must be >= 0, got {args.task_retries}"
+            )
         run_server(args.data_dir, host=args.host, port=args.port,
-                   workers=args.serve_workers, verbose=args.verbose)
+                   workers=args.serve_workers, verbose=args.verbose,
+                   max_pending=args.max_pending,
+                   task_timeout=args.task_timeout,
+                   task_retries=args.task_retries)
         return None
 
     if name == "fig1":
@@ -394,6 +496,22 @@ def _run(args):
         from .perf import cached_model_workload
         model = args.models[0] if args.models else "deit-tiny"
         grid = parse_grid(args.grid)
+        evaluator = _cli_evaluator(args.evaluator, args.no_batch)
+        faults = _load_fault_plan(args.faults)
+        if faults is not None:
+            # Serial sweeps have no retry layer: transient injected
+            # failures surface as dropped points (the dist runner is
+            # the path that heals them).  Hybrid's two-phase pruning
+            # would silently degrade under a per-point wrapper, so the
+            # combination is rejected rather than mis-simulated.
+            if args.evaluator == "hybrid":
+                raise SystemExit(
+                    "--faults with the hybrid evaluator needs the "
+                    "sharded path (dse-shard/dse-fleet), which wraps "
+                    "only the coarse phase"
+                )
+            from .faults import FaultyEvaluator
+            evaluator = FaultyEvaluator(evaluator, faults)
         # --trace installs a span collector on the default registry for
         # the sweep's duration; tracing observes only — the JSON result
         # stays byte-identical with and without it.
@@ -403,7 +521,7 @@ def _run(args):
                 workload = cached_model_workload(model, sparsity=args.sparsity)
             points = sweep_design_space(
                 workload, grid, n_jobs=args.n_jobs,
-                evaluator=_cli_evaluator(args.evaluator, args.no_batch),
+                evaluator=evaluator,
                 chunksize=args.batch_size,
             )
         if args.trace:
@@ -433,18 +551,34 @@ def _run(args):
             )
         model = args.models[0] if args.models else "deit-tiny"
         grid = parse_grid(args.grid)
+        evaluator = _cli_evaluator(args.evaluator, args.no_batch)
+        faults = _load_fault_plan(args.faults)
+        if faults is not None:
+            from .faults import FaultyEvaluator
+            evaluator = FaultyEvaluator(evaluator, faults)
         workload = cached_model_workload(model, sparsity=args.sparsity)
+        run_kwargs = {}
+        if args.max_point_retries is not None:
+            if args.max_point_retries < 0:
+                raise SystemExit(
+                    f"--max-point-retries must be >= 0, got "
+                    f"{args.max_point_retries}"
+                )
+            run_kwargs["max_point_retries"] = args.max_point_retries
         run = run_shard(
             workload, grid, args.shard, out,
-            evaluator=_cli_evaluator(args.evaluator, args.no_batch),
+            evaluator=evaluator,
             n_jobs=args.n_jobs, chunksize=args.batch_size,
             workload_spec=model_workload_spec(model, sparsity=args.sparsity),
             steal=args.steal, steal_chunk=args.steal_chunk,
             claim_ttl=args.claim_ttl, handicap=args.handicap,
+            heartbeat=args.heartbeat, **run_kwargs,
         )
         line = (f"shard {run.shard}: {run.evaluated} evaluated, "
                 f"{run.skipped} already in store, {run.failed} failed "
                 f"({run.total} grid points owned)")
+        if run.retried:
+            line += f"; {run.retried} transient-failure retries"
         if args.steal:
             line += f"; {run.stolen} stolen from other shards"
         print(line)
@@ -457,8 +591,76 @@ def _run(args):
             "skipped": run.skipped,
             "failed": run.failed,
             "stolen": run.stolen,
+            "retried": run.retried,
             "complete": run.complete,
         }
+
+    if name == "dse-fleet":
+        import json as _json
+
+        from .dist import run_fleet
+        out = args.out or args.store
+        if not out:
+            raise SystemExit("dse-fleet requires --out DIR (the store "
+                             "directory shared by every shard)")
+        if args.num_shards < 1:
+            raise SystemExit(
+                f"--num-shards must be >= 1, got {args.num_shards}"
+            )
+        faults = _load_fault_plan(args.faults)
+        model = args.models[0] if args.models else "deit-tiny"
+        shard_args = ["--models", model, "--sparsity", str(args.sparsity),
+                      "--evaluator", args.evaluator]
+        for spec in args.grid or ():
+            shard_args += ["--grid", spec]
+        if args.no_batch:
+            shard_args.append("--no-batch")
+        if args.batch_size is not None:
+            shard_args += ["--batch-size", str(args.batch_size)]
+        if args.n_jobs != 1:
+            shard_args += ["--n-jobs", str(args.n_jobs)]
+        if args.steal:
+            shard_args.append("--steal")
+        if args.steal_chunk is not None:
+            shard_args += ["--steal-chunk", str(args.steal_chunk)]
+        if args.claim_ttl != 600.0:
+            shard_args += ["--claim-ttl", str(args.claim_ttl)]
+        if args.handicap:
+            shard_args += ["--handicap", str(args.handicap)]
+        if args.max_point_retries is not None:
+            shard_args += ["--max-point-retries", str(args.max_point_retries)]
+        if faults is not None:
+            shard_args += ["--faults", _json.dumps(faults)]
+        fleet = run_fleet(
+            out, args.num_shards, shard_args,
+            hang_after=args.hang_after, max_restarts=args.max_restarts,
+        )
+        line = (f"fleet of {fleet.num_shards} shards: {fleet.restarts} "
+                f"relaunches ({fleet.hang_kills} hang kills)")
+        if fleet.abandoned:
+            line += f"; abandoned shards: {list(fleet.abandoned)}"
+        line += "; store " + ("complete" if fleet.complete else "INCOMPLETE")
+        print(line)
+        print(f"store: {fleet.store}")
+        result = {
+            "store": str(fleet.store),
+            "num_shards": fleet.num_shards,
+            "restarts": fleet.restarts,
+            "hang_kills": fleet.hang_kills,
+            "abandoned": list(fleet.abandoned),
+            "complete": fleet.complete,
+            "ok": fleet.ok,
+        }
+        if not fleet.complete:
+            if args.json:
+                with open(args.json, "w") as fh:
+                    fh.write(to_json(result))
+            raise SystemExit(
+                "dse-fleet: store is incomplete (some grid indices have "
+                "no record); re-run the same command to resume, or run "
+                "with --steal so survivors absorb abandoned shards"
+            )
+        return result
 
     if name == "dse-merge":
         from .dist import merge_store
@@ -488,13 +690,19 @@ def _run(args):
         store = args.store or args.out
         if not store:
             raise SystemExit("dse-status requires a store directory")
-        status = store_status(store)
+        if args.stall_after is not None and args.stall_after <= 0:
+            raise SystemExit(
+                f"--stall-after must be positive seconds, got "
+                f"{args.stall_after}"
+            )
+        status = store_status(store, stall_after=args.stall_after)
         print(harness.format_table(
-            ["shard", "scored", "failed", "stolen", "steals", "pending",
-             "total", "done%", "ok%", "eta"],
+            ["shard", "scored", "failed", "stolen", "steals", "retries",
+             "pending", "total", "done%", "ok%", "eta", "state"],
             [[str(s.shard), s.scored, s.failed, s.stolen, s.steals,
-              s.pending, s.total, f"{s.fraction_done:.0%}",
-              f"{s.fraction_scored:.0%}", _format_eta(s.eta_seconds)]
+              s.retries, s.pending, s.total, f"{s.fraction_done:.0%}",
+              f"{s.fraction_scored:.0%}", _format_eta(s.eta_seconds),
+              "STALLED" if s.stalled else ""]
              for s in status.shards],
         ))
         line = (f"\n{status.done}/{status.grid_size} grid points done "
@@ -502,6 +710,11 @@ def _run(args):
                 f"{status.failed} failed")
         if status.stolen:
             line += f", {status.stolen} stolen"
+        if status.retries:
+            line += f", {status.retries} retries"
+        if status.stalled_shards:
+            line += (", shards "
+                     f"{[str(s) for s in status.stalled_shards]} STALLED")
         if not status.complete:
             line += f"; ETA {_format_eta(status.eta_seconds)}"
         if status.manifest["evaluator"].get("name") == "hybrid":
@@ -519,10 +732,13 @@ def _run(args):
             "eta_seconds": status.eta_seconds,
             "complete": status.complete,
             "fine_records": status.fine_records,
+            "retries": status.retries,
+            "stalled_shards": [str(s) for s in status.stalled_shards],
             "shards": [
                 {"shard": str(s.shard), "done": s.done,
                  "scored": s.scored, "failed": s.failed,
                  "stolen": s.stolen, "steals": s.steals,
+                 "retries": s.retries, "stalled": s.stalled,
                  "total": s.total,
                  "fraction_done": s.fraction_done,
                  "fraction_scored": s.fraction_scored,

@@ -32,7 +32,13 @@ restartable *pipeline* over durable artifacts instead:
    (:mod:`repro.dist.merge`);
 5. **observe** — ``dse-status store/`` reports per-shard progress
    (scored vs failed records, stolen-index counts, owed-after-stealing
-   ETA) without touching an evaluator.
+   ETA, retry counts, ``--stall-after`` staleness flags) without
+   touching an evaluator;
+6. **supervise** — ``dse-fleet`` launches N shard subprocesses with
+   heartbeat files and relaunches crashed or hung ones with backoff
+   (:mod:`repro.dist.fleet`), so a seeded fault storm — or a real bad
+   day — still converges to the same bit-identical merge.
+
 
 The same machinery scales *down* to one box: N local processes sharding
 one store are how the shard-scaling benchmark
@@ -40,6 +46,7 @@ one store are how the shard-scaling benchmark
 the multi-host path.
 """
 
+from .fleet import FleetResult, run_fleet
 from .merge import (
     MergeResult,
     ShardStatus,
@@ -85,6 +92,8 @@ __all__ = [
     "decode_record",
     "ShardRunResult",
     "run_shard",
+    "FleetResult",
+    "run_fleet",
     "model_workload_spec",
     "workload_from_spec",
     "workload_fingerprint",

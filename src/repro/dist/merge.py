@@ -35,6 +35,7 @@ touching any evaluator.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Tuple
@@ -241,7 +242,16 @@ def _fine_rescore(store, manifest, pairs, workload, evaluator, n_jobs):
     interrupted merge resumes.
     """
     if evaluator is None:
-        evaluator = evaluator_from_spec(manifest["evaluator"])
+        # Strip any fault plan the study ran under: the merge host
+        # re-scores survivors healthily, which is exactly the chaos
+        # invariant (a faulty study merges bit-identical to the healthy
+        # serial sweep).
+        spec = {
+            key: value
+            for key, value in manifest["evaluator"].items()
+            if key != "faults"
+        }
+        evaluator = evaluator_from_spec(spec)
     else:
         evaluator = resolve_evaluator(evaluator)
     if not isinstance(evaluator, HybridEvaluator):
@@ -336,6 +346,13 @@ class ShardStatus:
     #: (record timestamps), ``0.0`` when complete, ``None`` when the
     #: shard has too few timestamped records to estimate a rate.
     eta_seconds: float = None
+    #: Transient-failure re-evaluations recorded by this shard's files
+    #: (the ``r`` keys of its own + steal records).
+    retries: int = 0
+    #: True when :func:`store_status` was given ``stall_after`` and this
+    #: incomplete shard's newest record is older than that — the sign of
+    #: a hung or dead shard process (see ``dse-status --stall-after``).
+    stalled: bool = False
 
     @property
     def scored(self) -> int:
@@ -392,6 +409,14 @@ class StoreStatus:
         return sum(s.steals for s in self.shards)
 
     @property
+    def retries(self) -> int:
+        return sum(s.retries for s in self.shards)
+
+    @property
+    def stalled_shards(self) -> Tuple[ShardStatus, ...]:
+        return tuple(s for s in self.shards if s.stalled)
+
+    @property
     def fraction_done(self) -> float:
         return self.done / self.grid_size if self.grid_size else 1.0
 
@@ -436,7 +461,7 @@ def _shard_eta(stamps, pending) -> float:
     return pending / rate
 
 
-def store_status(store) -> StoreStatus:
+def store_status(store, stall_after=None) -> StoreStatus:
     """Inspect a store's progress without evaluating anything.
 
     Besides per-shard completion counts (see :class:`ShardStatus` for
@@ -444,6 +469,12 @@ def store_status(store) -> StoreStatus:
     derived from its completion-record timestamps (see
     :func:`_shard_eta`); stores written before records carried
     timestamps simply report ``None``.
+
+    ``stall_after`` (seconds) arms stall detection: an *incomplete* shard
+    whose newest record — in its own file or its steal file — is older
+    than the threshold (or that never wrote a record at all) is flagged
+    ``stalled``, the operator's cue that the process is hung or dead and
+    a supervisor/steal pass should absorb its slice.
     """
     store = ResultStore(store)
     manifest = store.read_manifest()
@@ -473,6 +504,12 @@ def store_status(store) -> StoreStatus:
             for record in records.values()
             if "t" in record
         ]
+        pending = len(owned) - done
+        stalled = (
+            stall_after is not None
+            and pending > 0
+            and (not stamps or time.time() - max(stamps) > stall_after)
+        )
         status = ShardStatus(
             shard=shard,
             total=len(owned),
@@ -480,7 +517,13 @@ def store_status(store) -> StoreStatus:
             failed=sum(1 for record in done_records.values() if "err" in record),
             stolen=sum(1 for index in done_records if index not in own_records[k]),
             steals=len(steal_records[k]),
-            eta_seconds=_shard_eta(stamps, len(owned) - done),
+            eta_seconds=_shard_eta(stamps, pending),
+            retries=sum(
+                int(record.get("r", 0))
+                for records in (own_records[k], steal_records[k])
+                for record in records.values()
+            ),
+            stalled=stalled,
         )
         statuses.append(status)
     fine = len(store.load_records(store.fine_path))

@@ -42,11 +42,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 
 from .. import obs
+from ..faults.evaluator import FaultyEvaluator
+from ..faults.plan import activate, active_plan
 from ..harness.dse import PointFailure, grid_size, iter_indexed_design_points
 from ..hw.params import VITCOD_DEFAULT
 from ..perf.cache import cached_model_workload, seeded_workload
@@ -79,6 +83,14 @@ _COVERAGE_REFRESH_S = 0.5
 #: owner crashed or was preempted) and may be re-claimed.  ``<= 0``
 #: disables the courtesy entirely: existing claims are ignored.
 _CLAIM_TTL_S = 600.0
+
+#: Default per-point budget of re-evaluations for *transient* failures
+#: (``PointFailure.transient`` — see :mod:`repro.faults`), and the
+#: jittered exponential backoff between retry rounds.  Deterministic
+#: failures never retry: they persist exactly once, same as always.
+_MAX_POINT_RETRIES = 4
+_RETRY_BASE_S = 0.05
+_RETRY_CAP_S = 2.0
 
 
 def workload_fingerprint(workload) -> str:
@@ -164,10 +176,130 @@ class ShardRunResult:
     skipped: int  # already recorded (resume, or stolen by another shard)
     failed: int  # failure records now in the shard file
     stolen: int = 0  # other shards' points THIS run claimed and recorded
+    retried: int = 0  # transient-failure re-evaluations THIS run absorbed
 
     @property
     def complete(self) -> bool:
         return self.evaluated + self.skipped == self.total
+
+
+# ----------------------------------------------------------------------
+# Transient-failure retries and liveness heartbeats
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _RetryPolicy:
+    """Capped, jittered exponential backoff for transient point failures."""
+
+    budget: int = _MAX_POINT_RETRIES
+    base_s: float = _RETRY_BASE_S
+    cap_s: float = _RETRY_CAP_S
+
+    def delay(self, attempt: int, rng) -> float:
+        if self.base_s <= 0:
+            return 0.0
+        return min(self.cap_s, self.base_s * 2 ** (attempt - 1)) * (
+            0.5 + rng.random()
+        )
+
+
+def _touch_heartbeat(path: Path):
+    """Liveness signal tied to *progress*: touched once per durable record,
+    so an evaluator hang (unlike mere slowness between records) shows up
+    as a stale mtime a supervisor can act on.  A background thread would
+    defeat the point — it keeps beating while the real work is stuck."""
+    try:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a"):
+            os.utime(path, None)
+    except OSError:
+        pass  # heartbeats are best-effort; never fail the shard for one
+
+
+def _score_into(
+    out,
+    workload,
+    grid,
+    indices,
+    *,
+    base_config,
+    n_jobs,
+    chunksize,
+    evaluator,
+    handicap,
+    retry,
+    rng,
+    counter,
+    skip=None,
+    heartbeat=None,
+    plan=None,
+):
+    """Evaluate ``indices`` into appender ``out``, one record per point.
+
+    The write path for both the owned slice and stolen batches.  A
+    transient failure (``PointFailure.transient``) is *not* persisted on
+    first sight: the point queues for re-evaluation in retry rounds with
+    capped jittered exponential backoff, and only a success, a
+    deterministic failure, or an exhausted budget becomes the durable
+    completion record — carrying the retry count (``r``) it cost.
+    Returns ``(recorded, failed, retried)``.
+    """
+    recorded = failed = retried = 0
+    transient = {}  # grid index -> failed attempts so far
+
+    def emit(index, result, retries=0):
+        nonlocal recorded, failed
+        if skip is not None and skip(index):
+            return
+        if handicap:
+            time.sleep(handicap)
+        out.append(encode_record(index, result, retries=retries))
+        if heartbeat is not None:
+            _touch_heartbeat(heartbeat)
+        if plan is not None:
+            plan.note_append()
+        obs.counter(counter).inc()
+        recorded += 1
+        if isinstance(result, PointFailure):
+            obs.counter("dist_failure_records").inc()
+            failed += 1
+
+    def evaluate(batch):
+        return iter_indexed_design_points(
+            workload,
+            grid,
+            batch,
+            base_config=base_config,
+            n_jobs=n_jobs,
+            chunksize=chunksize,
+            evaluator=evaluator,
+            keep_failures=True,
+        )
+
+    for index, result in evaluate(indices):
+        if retry.budget > 0 and getattr(result, "transient", False):
+            transient[index] = 1
+            obs.counter("dist_transient_failures").inc()
+            continue
+        emit(index, result)
+    attempt = 1
+    while transient and attempt <= retry.budget:
+        time.sleep(retry.delay(attempt, rng))
+        obs.counter("dist_point_retries").inc(len(transient))
+        retried += len(transient)
+        still = {}
+        for index, result in evaluate(sorted(transient)):
+            tries = transient[index]
+            if getattr(result, "transient", False):
+                if attempt < retry.budget:
+                    still[index] = tries + 1
+                    continue
+                # Budget spent: the transient failure persists as the
+                # point's completion record, tagged with what it cost.
+                obs.counter("dist_retries_exhausted").inc()
+            emit(index, result, retries=tries)
+        transient = still
+        attempt += 1
+    return recorded, failed, retried
 
 
 # ----------------------------------------------------------------------
@@ -226,6 +358,11 @@ def _try_claim(path: Path, shard, ttl: float) -> bool:
     tolerates bit-identical duplicates.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
+    plan = active_plan()
+    if plan is not None:
+        # Chaos hook: widen the window between computing the owed set
+        # and claiming it, so claim races actually happen under test.
+        plan.claim_fault()
     payload = json.dumps({"shard": str(shard), "t": time.time()})
     try:
         fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -309,7 +446,11 @@ def _steal_missing(
     steal_chunk,
     claim_ttl,
     handicap,
-) -> int:
+    retry,
+    rng,
+    heartbeat=None,
+    plan=None,
+) -> tuple:
     """Claim and evaluate grid indices slower shards still owe.
 
     Loops until the store owes nothing this shard can claim: each round
@@ -323,7 +464,7 @@ def _steal_missing(
     the range.
     """
     size = grid_size(grid)
-    stolen = 0
+    stolen = retried = 0
     with JsonlAppender(store.steal_path(shard)) as out:
         while True:
             owed = _owed_indices(size, shard, _recorded_indices(store))
@@ -334,7 +475,8 @@ def _steal_missing(
                 claim = _claim_path(store, batch)
                 if not _try_claim(claim, shard, claim_ttl):
                     continue
-                for index, result in iter_indexed_design_points(
+                recorded, _, batch_retried = _score_into(
+                    out,
                     workload,
                     grid,
                     batch,
@@ -342,18 +484,20 @@ def _steal_missing(
                     n_jobs=n_jobs,
                     chunksize=chunksize,
                     evaluator=evaluator,
-                    keep_failures=True,
-                ):
-                    if handicap:
-                        time.sleep(handicap)
-                    out.append(encode_record(index, result))
-                    obs.counter("dist_records_stolen").inc()
-                    stolen += 1
+                    handicap=handicap,
+                    retry=retry,
+                    rng=rng,
+                    counter="dist_records_stolen",
+                    heartbeat=heartbeat,
+                    plan=plan,
+                )
+                stolen += recorded
+                retried += batch_retried
                 _release_claim(claim)
                 progressed = True
             if not progressed:
                 break
-    return stolen
+    return stolen, retried
 
 
 def run_shard(
@@ -370,6 +514,8 @@ def run_shard(
     steal_chunk=None,
     claim_ttl=_CLAIM_TTL_S,
     handicap=0.0,
+    max_point_retries=_MAX_POINT_RETRIES,
+    heartbeat=None,
 ) -> ShardRunResult:
     """Evaluate shard ``K/N`` of ``grid`` into a durable result store.
 
@@ -401,12 +547,26 @@ def run_shard(
     ``workload_spec`` (see :func:`model_workload_spec`) is stored in the
     manifest so other hosts can verify — and the merge host rebuild —
     the workload.
+
+    Failures are classified: a *transient* one (the evaluator raised a
+    :class:`repro.faults.TransientError` or ``OSError``) is re-evaluated
+    up to ``max_point_retries`` times with jittered backoff before
+    anything is persisted, and the completion record carries the retry
+    count; a deterministic failure persists exactly once, as always.  A
+    :class:`repro.faults.FaultyEvaluator` is recognised here: its plan is
+    scoped to the store (one-shot faults survive process relaunches) and
+    activated for the duration, arming the write-path and claim hooks.
+    ``heartbeat`` names a file touched once per durable record — a
+    supervisor (``dse-fleet``) reads its mtime to tell a hung shard from
+    a slow one.
     """
     shard = ShardSpec.parse(shard)
     grid = {name: tuple(values) for name, values in grid.items()}
     evaluator = resolve_evaluator(evaluator)
+    plan = getattr(evaluator, "fault_plan", None)
+    scoring = evaluator.inner if plan is not None else evaluator
     point_evaluator = (
-        evaluator.coarse if isinstance(evaluator, HybridEvaluator) else evaluator
+        scoring.coarse if isinstance(scoring, HybridEvaluator) else scoring
     )
     base_config = base_config or VITCOD_DEFAULT
     if workload is None:
@@ -455,10 +615,21 @@ def run_shard(
     owned = shard.indices(size)
     todo = [index for index in owned if index not in done and index not in covered]
     failed = sum(1 for record in done.values() if "err" in record)
-    evaluated = 0
     registry = obs.get_registry()
     if registry.enabled and len(owned) > len(todo):
         registry.counter("dist_resume_skips").inc(len(owned) - len(todo))
+
+    if plan is not None:
+        # Bind the plan's one-shot markers to the store directory (so a
+        # relaunched shard does not re-fire a spent fault) and hand the
+        # point evaluator a wrapper carrying the scoped plan.
+        plan = plan.scoped(store.root)
+        point_evaluator = FaultyEvaluator(point_evaluator, plan)
+    retry = _RetryPolicy(budget=max(0, int(max_point_retries)))
+    rng = random.Random()  # backoff jitter only — never affects results
+    if heartbeat is not None:
+        heartbeat = Path(heartbeat)
+        _touch_heartbeat(heartbeat)
 
     def pending():
         for index in todo:
@@ -466,55 +637,59 @@ def run_shard(
                 continue
             yield index
 
-    stream = iter_indexed_design_points(
-        workload,
-        grid,
-        pending(),
-        base_config=base_config,
-        n_jobs=n_jobs,
-        chunksize=chunksize,
-        evaluator=point_evaluator,
-        keep_failures=True,
-    )
     with obs.span("dist_shard", shard=str(shard)):
-        with JsonlAppender(path) as out:
-            for index, result in stream:
-                if coverage.covered(index):
-                    # A stealer persisted this index while its chunk was in
+        with activate(plan) if plan is not None else nullcontext():
+            with JsonlAppender(path) as out:
+                evaluated, new_failed, retried = _score_into(
+                    out,
+                    workload,
+                    grid,
+                    pending(),
+                    base_config=base_config,
+                    n_jobs=n_jobs,
+                    chunksize=chunksize,
+                    evaluator=point_evaluator,
+                    handicap=handicap,
+                    retry=retry,
+                    rng=rng,
+                    counter="dist_records_written",
+                    # A stealer may persist an index while its chunk is in
                     # flight; recording it again would only add a tolerated
                     # duplicate.
-                    continue
-                if handicap:
-                    time.sleep(handicap)
-                out.append(encode_record(index, result))
-                obs.counter("dist_records_written").inc()
-                evaluated += 1
-                if isinstance(result, PointFailure):
-                    obs.counter("dist_failure_records").inc()
-                    failed += 1
+                    skip=coverage.covered,
+                    heartbeat=heartbeat,
+                    plan=plan,
+                )
+                failed += new_failed
 
-        stolen = 0
-        if steal:
-            stolen = _steal_missing(
-                workload,
-                grid,
-                shard,
-                store,
-                base_config,
-                point_evaluator,
-                n_jobs,
-                chunksize,
-                steal_chunk or _STEAL_CHUNK,
-                claim_ttl,
-                handicap,
-            )
+            stolen = 0
+            if steal:
+                stolen, steal_retried = _steal_missing(
+                    workload,
+                    grid,
+                    shard,
+                    store,
+                    base_config,
+                    point_evaluator,
+                    n_jobs,
+                    chunksize,
+                    steal_chunk or _STEAL_CHUNK,
+                    claim_ttl,
+                    handicap,
+                    retry,
+                    rng,
+                    heartbeat=heartbeat,
+                    plan=plan,
+                )
+                retried += steal_retried
     _log.info(
-        "shard %s: %d evaluated, %d skipped, %d failed, %d stolen",
+        "shard %s: %d evaluated, %d skipped, %d failed, %d stolen, %d retried",
         shard,
         evaluated,
         len(owned) - evaluated,
         failed,
         stolen,
+        retried,
     )
     return ShardRunResult(
         shard=shard,
@@ -525,4 +700,5 @@ def run_shard(
         skipped=len(owned) - evaluated,
         failed=failed,
         stolen=stolen,
+        retried=retried,
     )

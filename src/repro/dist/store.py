@@ -56,6 +56,8 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List
 
+from ..faults.errors import FaultInjectedError
+from ..faults.plan import active_plan
 from ..harness.dse import DesignPoint, PointFailure, grid_size
 from ..hw.params import EnergyTable, HardwareConfig
 from ..sim.evaluator import evaluator_spec
@@ -116,7 +118,7 @@ def _dump(data) -> str:
 # ----------------------------------------------------------------------
 # Completion records
 # ----------------------------------------------------------------------
-def encode_record(index: int, result, timestamp=None) -> dict:
+def encode_record(index: int, result, timestamp=None, retries: int = 0) -> dict:
     """One completion record: a scored point or a captured failure.
 
     Keys are terse on purpose (one record per grid point adds up):
@@ -125,7 +127,10 @@ def encode_record(index: int, result, timestamp=None) -> dict:
     plus ``t`` — the unix completion time (``timestamp`` overrides the
     clock; progress metadata only, ignored by :func:`decode_record`, so
     :func:`repro.dist.store_status` can derive per-shard throughput and
-    ETA without affecting the bit-exact merge).
+    ETA without affecting the bit-exact merge).  ``retries`` > 0 adds an
+    ``r`` key — how many transient-failure re-evaluations this point
+    cost — which is execution metadata like ``t``: healthy records stay
+    byte-identical and :func:`record_payload` ignores it.
     """
     if isinstance(result, PointFailure):
         record = {
@@ -143,6 +148,8 @@ def encode_record(index: int, result, timestamp=None) -> dict:
         }
     else:
         raise TypeError(f"expected DesignPoint or PointFailure, got {type(result)!r}")
+    if retries:
+        record["r"] = int(retries)
     record["t"] = time.time() if timestamp is None else float(timestamp)
     return record
 
@@ -167,16 +174,17 @@ def decode_record(record: dict):
 
 
 def record_payload(record: dict) -> dict:
-    """A completion record minus progress metadata (the ``t`` timestamp).
+    """A completion record minus execution metadata (``t``/``r``).
 
     Two records are *the same completion* iff their payloads are equal:
     evaluation is deterministic, so a grid point redundantly evaluated by
     a victim shard and a work-stealer yields byte-identical parameters
-    and objectives and differs only in when it finished.  The
+    and objectives and differs only in when it finished (``t``) and how
+    many transient hiccups each runner absorbed on the way (``r``).  The
     duplicate-tolerant merge compares payloads — identical payloads merge
     silently, conflicting ones raise :class:`StoreCorruptError`.
     """
-    return {key: value for key, value in record.items() if key != "t"}
+    return {key: value for key, value in record.items() if key not in ("t", "r")}
 
 
 # ----------------------------------------------------------------------
@@ -268,13 +276,25 @@ class JsonlAppender:
             os.fsync(fh.fileno())
 
     def append(self, record: dict):
-        self._fh.write(_dump(record) + "\n")
+        line = _dump(record) + "\n"
+        plan = active_plan()
+        if plan is not None and plan.torn_write_fault(self._path):
+            # Die exactly like a writer killed mid-append: half the line
+            # reaches the file, the process never returns.  The next
+            # opener's torn-tail repair is the recovery under test.
+            self._fh.write(line[: len(line) // 2])
+            self._fh.flush()
+            raise FaultInjectedError(f"injected torn write in {self._path.name}")
+        self._fh.write(line)
         self._fh.flush()
         self._unsynced += 1
         if self._unsynced >= _FSYNC_EVERY:
             self._sync()
 
     def _sync(self):
+        plan = active_plan()
+        if plan is not None:
+            plan.fsync_fault(self._path)
         os.fsync(self._fh.fileno())
         self._unsynced = 0
 

@@ -1,0 +1,32 @@
+"""Exception taxonomy for fault injection and retry classification.
+
+Kept stdlib-only and import-leaf so every layer (``harness``, ``dist``,
+``obs``) can import it at module level without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FaultInjectedError", "FaultPlanError", "TransientError"]
+
+
+class TransientError(Exception):
+    """Marker base class for failures that are worth retrying.
+
+    Evaluators (or the code they call) raise a ``TransientError`` subclass
+    to tell the distributed runner that re-evaluating the same point may
+    succeed.  Deterministic failures — bad parameters, model bugs — should
+    raise anything else and are persisted exactly once.
+    """
+
+
+class FaultInjectedError(TransientError):
+    """An error produced by an active :class:`repro.faults.FaultPlan`.
+
+    Subclasses :class:`TransientError` because every injected fault models
+    an environmental hiccup (flaky evaluator, dying disk, killed process),
+    which is exactly the class of failure the retry machinery must absorb.
+    """
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan spec failed validation (unknown key, bad type/range)."""

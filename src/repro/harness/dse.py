@@ -75,6 +75,7 @@ from typing import Dict, Iterable, Iterator, List, Sequence
 import numpy as np
 
 from .. import obs
+from ..faults.errors import TransientError
 from ..hw.params import VITCOD_DEFAULT, HardwareConfig
 from ..hw.workload import ModelWorkload
 from ..perf.cache import seed_worker_workload, seeded_workload
@@ -140,6 +141,12 @@ class PointFailure:
 
     parameters: tuple
     error: str
+    #: True when the failure is worth retrying: the evaluator raised a
+    #: :class:`repro.faults.TransientError` (or an ``OSError`` — I/O and
+    #: resource hiccups), rather than failing deterministically.  The
+    #: sharded runners re-evaluate transient failures under a backoff
+    #: budget before persisting anything.
+    transient: bool = False
 
 
 #: Backwards-compatible private alias (the class predates :mod:`repro.dist`).
@@ -167,7 +174,9 @@ def _evaluate_design_point(workload, base_config, names, values, evaluator: Eval
         raise
     except Exception as exc:
         return _PointFailure(
-            parameters=parameters, error=f"{type(exc).__name__}: {exc}"
+            parameters=parameters,
+            error=f"{type(exc).__name__}: {exc}",
+            transient=isinstance(exc, (TransientError, OSError)),
         )
     return DesignPoint(
         parameters=parameters,

@@ -26,6 +26,11 @@ import json
 import os
 from pathlib import Path
 
+# Cycle-safe: repro.faults is stdlib-only at import time (it reaches for
+# obs lazily, and only when a fault actually fires), so obs stays a leaf
+# every other layer can import.
+from ..faults.plan import active_plan
+
 __all__ = ["EventLogError", "EventLog"]
 
 #: How many trailing bytes the tail repair inspects; event records are a
@@ -52,6 +57,12 @@ class EventLog:
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(line + "\n")
             fh.flush()
+            plan = active_plan()
+            if plan is not None:
+                # The injected OSError escapes mid-record — after the
+                # write, before the durability barrier — exactly like a
+                # dying disk; the torn-tail contract must still hold.
+                plan.fsync_fault(self.path)
             os.fsync(fh.fileno())
         return event
 

@@ -23,6 +23,7 @@ from .client import ServeClient, ServeError
 from .jobs import (
     JobFailedError,
     JobManager,
+    ServeOverloadError,
     ServeRequestError,
     UnknownJobError,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "ServeError",
     "JobFailedError",
     "JobManager",
+    "ServeOverloadError",
     "ServeRequestError",
     "UnknownJobError",
 ]

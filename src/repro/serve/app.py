@@ -37,14 +37,22 @@ from __future__ import annotations
 
 import contextlib
 import json
+import math
 import re
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 
 from .. import obs
 from ..obs import METRICS_CONTENT_TYPE, EventLogError, render_metrics
-from .jobs import JobFailedError, JobManager, ServeRequestError, UnknownJobError
+from .jobs import (
+    JobFailedError,
+    JobManager,
+    ServeOverloadError,
+    ServeRequestError,
+    UnknownJobError,
+)
 
 __all__ = ["ServeServer", "build_server", "run_server", "serving"]
 
@@ -79,17 +87,19 @@ class _Handler(BaseHTTPRequestHandler):
         replaces the stdlib's per-request stderr printf."""
 
     # -- plumbing ------------------------------------------------------
-    def _send(self, code, text, content_type="application/json"):
+    def _send(self, code, text, content_type="application/json", headers=None):
         body = text.encode("utf-8")
         self._status = code
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, code, payload):
-        self._send(code, json.dumps(payload, sort_keys=True))
+    def _send_json(self, code, payload, headers=None):
+        self._send(code, json.dumps(payload, sort_keys=True), headers=headers)
 
     def _error(self, code, message):
         self._send_json(code, {"error": str(message)})
@@ -201,6 +211,15 @@ class _Handler(BaseHTTPRequestHandler):
         except ServeRequestError as exc:
             self._error(400, str(exc))
             return
+        except ServeOverloadError as exc:
+            # Backpressure: 503 plus a machine-readable Retry-After so
+            # well-behaved clients (ServeClient included) pace themselves.
+            self._send_json(
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": str(int(math.ceil(exc.retry_after)))},
+            )
+            return
         self._send_json(201 if info["created"] else 200, info)
 
 
@@ -231,6 +250,9 @@ def build_server(
     workers=2,
     max_grid_points=65536,
     max_shards=16,
+    max_pending=1024,
+    task_timeout=None,
+    task_retries=2,
     verbose=False,
 ) -> ServeServer:
     """Bind a server and resume any unfinished jobs in ``data_dir``.
@@ -247,18 +269,50 @@ def build_server(
         workers=workers,
         max_grid_points=max_grid_points,
         max_shards=max_shards,
+        max_pending=max_pending,
+        task_timeout=task_timeout,
+        task_retries=task_retries,
     )
     manager.resume()
     return ServeServer((host, port), manager, verbose=verbose)
 
 
-def run_server(data_dir, host="127.0.0.1", port=8765, workers=2, verbose=False):
-    """Blocking entry point behind ``python -m repro serve``."""
+def run_server(
+    data_dir,
+    host="127.0.0.1",
+    port=8765,
+    workers=2,
+    verbose=False,
+    max_pending=1024,
+    task_timeout=None,
+    task_retries=2,
+):
+    """Blocking entry point behind ``python -m repro serve``.
+
+    ``SIGTERM`` drains gracefully: the accept loop stops, in-flight
+    shard tasks finish (their records are already durable either way),
+    and the process exits 0 — queued work resumes on the next start.
+    """
     if verbose:
         obs.configure_logging()
     server = build_server(
-        data_dir, host=host, port=port, workers=workers, verbose=verbose
+        data_dir, host=host, port=port, workers=workers, verbose=verbose,
+        max_pending=max_pending, task_timeout=task_timeout,
+        task_retries=task_retries,
     )
+
+    def _drain(signum, frame):
+        print("repro-serve: SIGTERM received, draining", flush=True)
+        # shutdown() blocks until serve_forever returns, so it must not
+        # run on the thread currently inside serve_forever.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    # Registered before the startup banner: once a supervisor can read
+    # the address, SIGTERM already means drain, not die.
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except ValueError:
+        pass  # not the main thread (tests drive run_server off-main)
     resumed = [
         info["id"]
         for info in server.manager.jobs()

@@ -5,11 +5,18 @@ server keeps the client importable anywhere the package is.  Error
 responses surface as :class:`ServeError` carrying the HTTP status and
 the server's ``error`` message; :meth:`ServeClient.raw_results` returns
 the served bytes untouched for byte-identity assertions.
+
+The client retries what a client safely can: connection errors (the
+server is restarting — its jobs are durable, so the same request lands
+normally a moment later) and 5xx responses, with capped jittered
+exponential backoff that honours a 503's ``Retry-After``.  4xx responses
+never retry — they mean the request itself, not the moment.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -29,11 +36,22 @@ class ServeError(RuntimeError):
 class ServeClient:
     """Talk to one server: submit studies, poll status, fetch results."""
 
-    def __init__(self, base_url, timeout=30.0):
+    def __init__(self, base_url, timeout=30.0, retries=3, backoff_s=0.2):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
 
     # -- plumbing ------------------------------------------------------
+    def _delay(self, attempt, retry_after=None) -> float:
+        delay = min(5.0, self.backoff_s * 2**attempt) * (0.5 + random.random())
+        if retry_after is not None:
+            try:
+                delay = max(delay, min(30.0, float(retry_after)))
+            except (TypeError, ValueError):
+                pass
+        return delay
+
     def _request(self, path, data=None) -> bytes:
         url = f"{self.base_url}{path}"
         request = urllib.request.Request(
@@ -41,16 +59,29 @@ class ServeClient:
             data=data,
             headers={"Content-Type": "application/json"} if data else {},
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.read()
-        except urllib.error.HTTPError as exc:
-            body = exc.read()
+        for attempt in range(self.retries + 1):
             try:
-                message = json.loads(body).get("error", body.decode("utf-8"))
-            except (json.JSONDecodeError, UnicodeDecodeError):
-                message = body.decode("utf-8", "replace")
-            raise ServeError(exc.code, message) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return response.read()
+            except urllib.error.HTTPError as exc:
+                body = exc.read()
+                try:
+                    message = json.loads(body).get("error", body.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    message = body.decode("utf-8", "replace")
+                error = ServeError(exc.code, message)
+                if exc.code < 500 or attempt >= self.retries:
+                    raise error from None
+                retry_after = exc.headers.get("Retry-After") if exc.headers else None
+                time.sleep(self._delay(attempt, retry_after))
+            except urllib.error.URLError:
+                # Connection refused/reset: the server side of a restart.
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self._delay(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _json(self, path, payload=None):
         data = None

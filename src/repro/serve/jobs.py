@@ -37,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import queue
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -72,6 +73,7 @@ from .cache import ResultCache, study_fingerprint
 __all__ = [
     "JOB_SCHEMA",
     "ServeRequestError",
+    "ServeOverloadError",
     "UnknownJobError",
     "JobFailedError",
     "JobState",
@@ -110,6 +112,23 @@ class ServeRequestError(ValueError):
     """A malformed job submission (the HTTP layer maps this to 400)."""
 
 
+class ServeOverloadError(RuntimeError):
+    """The task queue is full; come back later (maps to 503 + Retry-After).
+
+    Backpressure, not failure: nothing was written to disk, and an
+    identical re-submission after ``retry_after`` seconds lands normally.
+    """
+
+    def __init__(self, pending, limit, retry_after):
+        super().__init__(
+            f"task queue is full ({pending} tasks pending, limit "
+            f"{limit}); retry in {retry_after:.0f}s"
+        )
+        self.pending = int(pending)
+        self.limit = int(limit)
+        self.retry_after = float(retry_after)
+
+
 class UnknownJobError(KeyError):
     """A job id this server's data dir has never seen (maps to 404)."""
 
@@ -128,6 +147,7 @@ class JobState:
     state: str  # queued | running | merging | done | failed
     error: str = None
     remaining: set = field(default_factory=set)  # shard indices still owed
+    attempts: dict = field(default_factory=dict)  # shard index -> failures
 
     @property
     def store_root(self) -> Path:
@@ -153,15 +173,34 @@ class JobManager:
     tests then drive execution deterministically with :meth:`run_next`).
     ``max_grid_points`` / ``max_shards`` bound what one request may ask
     of the server; both are validation limits, not scheduling hints.
+
+    Robustness knobs: ``max_pending`` bounds the task queue (submissions
+    that would overflow it raise :class:`ServeOverloadError` → 503);
+    ``task_retries`` is the per-shard-task retry budget before a crash
+    or timeout fails the whole job; ``task_timeout`` puts each shard
+    task under a watchdog (``None`` disables it).
     """
 
-    def __init__(self, data_dir, workers=2, max_grid_points=65536, max_shards=16):
+    def __init__(
+        self,
+        data_dir,
+        workers=2,
+        max_grid_points=65536,
+        max_shards=16,
+        max_pending=1024,
+        task_retries=2,
+        task_timeout=None,
+    ):
         self.data_dir = Path(data_dir)
         self.jobs_root = self.data_dir / "jobs"
         self.jobs_root.mkdir(parents=True, exist_ok=True)
         self.cache = ResultCache(self.jobs_root)
         self.max_grid_points = int(max_grid_points)
         self.max_shards = int(max_shards)
+        self.max_pending = int(max_pending)
+        self.task_retries = int(task_retries)
+        self.task_timeout = None if task_timeout is None else float(task_timeout)
+        self.workers = int(workers)
         self.stats = {
             "submitted": 0,
             "cache_hits": 0,
@@ -169,6 +208,9 @@ class JobManager:
             "jobs_completed": 0,
             "jobs_failed": 0,
             "shards_run": 0,
+            "task_retries": 0,
+            "task_timeouts": 0,
+            "overload_rejections": 0,
         }
         self._jobs = {}
         self._lock = threading.RLock()
@@ -293,6 +335,14 @@ class JobManager:
                 "the merge must re-score every coarse-frontier survivor; "
                 "submit with adaptive=false"
             )
+        evaluator_wire = evaluator_spec(evaluator)
+        fault_plan = evaluator_wire.get("faults") or {}
+        if fault_plan.get("kill_after_records") is not None:
+            raise ServeRequestError(
+                "fault plans with 'kill_after_records' cannot run served: "
+                "shards execute in-process, so the injected SIGKILL would "
+                "take the whole server down; use dse-fleet for kill storms"
+            )
         base_config = request.get("base_config")
         if base_config is None:
             config = VITCOD_DEFAULT
@@ -311,7 +361,7 @@ class JobManager:
         handicap = _check_number(request.get("handicap", 0.0), "'handicap'", 0.0)
         return {
             "grid": grid,
-            "evaluator": evaluator_spec(evaluator),
+            "evaluator": evaluator_wire,
             "base_config": config_to_dict(config),
             "workload_spec": self._normalize_workload_spec(request),
             "n_shards": n_shards,
@@ -369,6 +419,18 @@ class JobManager:
                 self._bump("deduplicated")
                 self._event(job.root, "deduplicated")
                 return self._submit_info(job, cache_hit=False, created=False)
+            # Backpressure before any disk write: cache hits and dedups
+            # above cost nothing, but a new job owes n_shards tasks.
+            # Startup resume is exempt — it re-queues work this server
+            # already accepted.
+            pending = self._queue.qsize()
+            n_shards = int(record["n_shards"])
+            if pending + n_shards > self.max_pending:
+                self._bump("overload_rejections")
+                retry_after = max(
+                    1.0, min(60.0, pending / max(1, self.workers))
+                )
+                raise ServeOverloadError(pending, self.max_pending, retry_after)
             job_root = self.jobs_root / job_id
             created = self._publish_job_record(job_root, record)
             if not created:
@@ -482,20 +544,10 @@ class JobManager:
             self._note_transition(job, "running")
         self._event(job.root, "shard_started", shard=shard_index)
         try:
-            workload = workload_from_spec(job.request["workload_spec"])
-            run = run_shard(
-                workload,
-                job.request["grid"],
-                f"{shard_index}/{job.n_shards}",
-                job.store_root,
-                base_config=config_from_dict(job.request["base_config"]),
-                evaluator=evaluator_from_spec(job.request["evaluator"]),
-                workload_spec=job.request["workload_spec"],
-                handicap=job.request.get("handicap", 0.0),
-            )
+            run = self._execute_shard(job, shard_index)
             self._bump("shards_run")
-        except Exception as exc:  # noqa: BLE001 - job poisoning, reported
-            self._fail(job, exc)
+        except Exception as exc:  # noqa: BLE001 - retried, then job-poisoning
+            self._retry_or_fail(job, shard_index, exc)
             return
         self._event(
             job.root,
@@ -516,6 +568,84 @@ class JobManager:
                 self._merge(job)
             except Exception as exc:  # noqa: BLE001
                 self._fail(job, exc)
+
+    def _execute_shard(self, job, shard_index):
+        """Run one shard, under the task watchdog when one is configured.
+
+        With a ``task_timeout`` the shard runs on a helper thread so the
+        worker can give up on it: a task over budget raises
+        :class:`TimeoutError` here and is handled like any other shard
+        failure (retry budget, then job failure).  The abandoned thread
+        may still finish in the background — its store records are
+        duplicate-tolerant, so a late completion is harmless.
+        """
+
+        def work():
+            workload = workload_from_spec(job.request["workload_spec"])
+            return run_shard(
+                workload,
+                job.request["grid"],
+                f"{shard_index}/{job.n_shards}",
+                job.store_root,
+                base_config=config_from_dict(job.request["base_config"]),
+                evaluator=evaluator_from_spec(job.request["evaluator"]),
+                workload_spec=job.request["workload_spec"],
+                handicap=job.request.get("handicap", 0.0),
+            )
+
+        if self.task_timeout is None:
+            return work()
+        box = {}
+        done = threading.Event()
+
+        def target():
+            try:
+                box["run"] = work()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                box["exc"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(
+            target=target,
+            name=f"serve-shard-{job.job_id[:8]}-{shard_index}",
+            daemon=True,
+        )
+        thread.start()
+        if not done.wait(self.task_timeout):
+            self._bump("task_timeouts")
+            raise TimeoutError(
+                f"shard {shard_index} exceeded the task timeout "
+                f"({self.task_timeout:.1f}s)"
+            )
+        if "exc" in box:
+            raise box["exc"]
+        return box["run"]
+
+    def _retry_or_fail(self, job, shard_index, exc):
+        """Spend one of the job's task retries, or fail it durably."""
+        error = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            attempts = job.attempts.get(shard_index, 0) + 1
+            job.attempts[shard_index] = attempts
+            retry = attempts <= self.task_retries and job.state != "failed"
+        if not retry:
+            self._fail(job, exc)
+            return
+        self._bump("task_retries")
+        delay = min(2.0, 0.05 * 2 ** (attempts - 1)) * (
+            0.5 + random.random()
+        )
+        _log.warning(
+            "job %s shard %d failed (%s); retry %d/%d in %.2fs",
+            job.job_id, shard_index, error, attempts, self.task_retries, delay,
+        )
+        self._event(
+            job.root, "shard_retry",
+            shard=shard_index, attempt=attempts, error=error,
+        )
+        time.sleep(delay)
+        self._queue.put((job.job_id, shard_index))
 
     def _merge(self, job):
         """Fold the job's store into the served document (the last mile)."""

@@ -639,6 +639,15 @@ def evaluator_spec(evaluator) -> dict:
     :func:`resolve_evaluator` does.
     """
     evaluator = resolve_evaluator(evaluator)
+    plan = getattr(evaluator, "fault_plan", None)
+    if plan is not None and hasattr(evaluator, "inner"):
+        # A repro.faults.FaultyEvaluator wrapper: the spec is the *inner*
+        # evaluator's spec plus an optional "faults" plan, so the manifest
+        # still names the real scoring strategy and a healthy merge stays
+        # byte-identical to the faulty one.
+        spec = evaluator_spec(evaluator.inner)
+        spec["faults"] = plan.spec()
+        return spec
     kind = type(evaluator)
     if kind is AnalyticalEvaluator or kind is BatchedAnalyticalEvaluator:
         # One strategy, two execution modes: batched and per-point score
@@ -667,10 +676,15 @@ def evaluator_spec(evaluator) -> dict:
 #: a misspelt or injected field must fail loudly instead of being
 #: silently dropped — ``{"name": "cycle", "engin": "scalar"}`` would
 #: otherwise score a different study than the caller asked for.
+#: Every strategy also accepts an optional "faults" object — a
+#: :func:`repro.faults.plan_from_spec` plan that wraps the evaluator in
+#: seeded fault injection (see the README's failure runbook).
 _SPEC_KEYS = {
-    "analytical": frozenset({"name"}),
-    "cycle": frozenset({"name", "engine", "scan"}),
-    "hybrid": frozenset({"name", "coarse", "fine", "adaptive", "band_slack"}),
+    "analytical": frozenset({"name", "faults"}),
+    "cycle": frozenset({"name", "engine", "scan", "faults"}),
+    "hybrid": frozenset(
+        {"name", "coarse", "fine", "adaptive", "band_slack", "faults"}
+    ),
 }
 _CYCLE_ENGINES = ("vectorized", "scalar")
 _CYCLE_SCANS = ("split", "fused")
@@ -715,6 +729,19 @@ def evaluator_from_spec(spec) -> Evaluator:
             spec, f"unknown field(s) {unknown} for {name!r} "
             f"(allowed: {sorted(allowed)})"
         )
+    faults = spec.get("faults")
+    if faults is not None:
+        # Build the inner evaluator from the same spec minus the plan,
+        # then wrap: FaultyEvaluator is per-point by design, so the
+        # retry machinery can attribute every injected failure.
+        from ..faults import FaultPlanError, FaultyEvaluator, plan_from_spec
+
+        try:
+            plan = plan_from_spec(faults)
+        except FaultPlanError as exc:
+            raise _spec_error(spec, f"bad 'faults' plan: {exc}") from None
+        inner_spec = {k: v for k, v in spec.items() if k != "faults"}
+        return FaultyEvaluator(evaluator_from_spec(inner_spec), plan)
     if name == "analytical":
         return BatchedAnalyticalEvaluator()
     if name == "cycle":
@@ -733,6 +760,12 @@ def evaluator_from_spec(spec) -> Evaluator:
         raise _spec_error(spec, "'band_slack' must be a number in [0, 1)")
     coarse = spec.get("coarse")
     fine = spec.get("fine")
+    for role, sub in (("coarse", coarse), ("fine", fine)):
+        if isinstance(sub, dict) and "faults" in sub:
+            raise _spec_error(
+                spec,
+                f"fault plans attach to the top-level evaluator, not {role!r}",
+            )
     try:
         return HybridEvaluator(
             coarse=evaluator_from_spec(coarse) if coarse else None,

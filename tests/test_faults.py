@@ -1,0 +1,337 @@
+"""Tests for seeded fault injection (:mod:`repro.faults`).
+
+The contract under test: plans are deterministic in their seed, a true
+no-op when inactive, ride the evaluator wire format unchanged, and the
+dist layer's retry/repair machinery converges a faulty study to the
+bit-identical healthy result.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dist import (
+    ResultStore,
+    build_manifest,
+    decode_record,
+    encode_record,
+    merge_store,
+    model_workload_spec,
+    run_shard,
+    store_status,
+)
+from repro.dist.store import JsonlAppender, load_jsonl, record_payload
+from repro.faults import (
+    FaultInjectedError,
+    FaultPlan,
+    FaultPlanError,
+    FaultyEvaluator,
+    TransientError,
+    activate,
+    active_plan,
+    plan_from_spec,
+)
+from repro.harness.dse import PointFailure, sweep_design_space
+from repro.obs.events import EventLog
+from repro.perf import cached_model_workload
+from repro.sim.evaluator import (
+    AnalyticalEvaluator,
+    evaluator_from_spec,
+    evaluator_spec,
+)
+
+GRID = {"mac_lines": (16, 32, 64), "ae_compression": (None, 0.5)}
+SPEC = model_workload_spec("deit-tiny", sparsity=0.9)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return cached_model_workload("deit-tiny", sparsity=0.9)
+
+
+class TestFaultPlan:
+    def test_spec_round_trip(self):
+        spec = {"seed": 7, "evaluator_error_rate": 0.25, "torn_write": True,
+                "kill_after_records": 3}
+        assert plan_from_spec(spec).spec() == spec
+
+    def test_defaults_serialize_empty(self):
+        assert FaultPlan().spec() == {}
+
+    def test_scope_never_serialized(self, tmp_path):
+        plan = plan_from_spec({"torn_write": True}).scoped(tmp_path)
+        assert plan.scope == tmp_path
+        assert "scope" not in plan.spec()
+
+    @pytest.mark.parametrize("bad", [
+        {"nope": 1},
+        {"seed": "x"},
+        {"evaluator_error_rate": 1.5},
+        {"evaluator_error_rate": True},
+        {"evaluator_error_attempts": 0},
+        {"evaluator_hang_s": -1},
+        {"torn_write": 1},
+        {"kill_after_records": 0},
+        "not-a-dict",
+    ])
+    def test_validation_rejects(self, bad):
+        with pytest.raises(FaultPlanError):
+            plan_from_spec(bad)
+
+    def test_selection_is_seed_deterministic(self):
+        plan = FaultPlan(seed=3, evaluator_error_rate=0.3)
+        keys = [f"point-{i}" for i in range(200)]
+        picked = {k for k in keys
+                  if plan._selected("evaluator_error", k, 0.3)}
+        again = {k for k in keys
+                 if plan._selected("evaluator_error", k, 0.3)}
+        assert picked == again
+        assert 0 < len(picked) < len(keys)  # a real subset
+        other = FaultPlan(seed=4, evaluator_error_rate=0.3)
+        assert picked != {k for k in keys
+                          if other._selected("evaluator_error", k, 0.3)}
+
+    def test_one_shot_marker_is_durable_across_instances(self, tmp_path):
+        first = plan_from_spec({"torn_write": True}).scoped(tmp_path)
+        assert first.torn_write_fault(tmp_path / "a.jsonl")
+        # A relaunched process builds a fresh plan over the same scope:
+        # the marker file says the fault was already spent.
+        second = plan_from_spec({"torn_write": True}).scoped(tmp_path)
+        assert not second.torn_write_fault(tmp_path / "a.jsonl")
+
+    def test_out_of_scope_paths_untouched(self, tmp_path):
+        plan = plan_from_spec({"torn_write": True,
+                               "fsync_error": True}).scoped(tmp_path / "in")
+        assert not plan.torn_write_fault(tmp_path / "outside.jsonl")
+        plan.fsync_fault(tmp_path / "outside.jsonl")  # no raise
+
+    def test_no_plan_active_by_default(self):
+        assert active_plan() is None
+
+    def test_activation_scopes_and_restores(self):
+        plan = FaultPlan()
+        with activate(plan) as active:
+            assert active is plan and active_plan() is plan
+        assert active_plan() is None
+
+    def test_claim_delay_sleeps(self):
+        plan = FaultPlan(claim_delay_s=0.05)
+        begin = time.monotonic()
+        plan.claim_fault()
+        assert time.monotonic() - begin >= 0.04
+
+
+class TestFaultyEvaluator:
+    def test_transient_then_identical_result(self, workload):
+        inner = AnalyticalEvaluator()
+        faulty = FaultyEvaluator(
+            inner, {"evaluator_error_rate": 1.0, "evaluator_error_attempts": 2}
+        )
+        from repro.hw.params import VITCOD_DEFAULT
+        kwargs = {}
+        for _ in range(2):
+            with pytest.raises(FaultInjectedError):
+                faulty(workload, VITCOD_DEFAULT, kwargs)
+        assert faulty(workload, VITCOD_DEFAULT, kwargs) == inner(
+            workload, VITCOD_DEFAULT, kwargs
+        )
+
+    def test_injected_error_is_transient(self):
+        assert issubclass(FaultInjectedError, TransientError)
+        failure = PointFailure(parameters={}, error="x", transient=True)
+        assert failure.transient
+
+    def test_spec_rides_the_inner_evaluator(self):
+        faulty = FaultyEvaluator("analytical", {"evaluator_error_rate": 0.5})
+        spec = evaluator_spec(faulty)
+        assert spec["name"] == "analytical"
+        assert spec["faults"] == {"evaluator_error_rate": 0.5}
+        rebuilt = evaluator_from_spec(spec)
+        assert isinstance(rebuilt, FaultyEvaluator)
+        assert rebuilt.fault_plan.spec() == {"evaluator_error_rate": 0.5}
+
+    def test_bad_wire_plan_rejected(self):
+        with pytest.raises(ValueError, match="bad 'faults' plan"):
+            evaluator_from_spec({"name": "analytical", "faults": {"zap": 1}})
+
+    def test_hybrid_nested_faults_rejected(self):
+        with pytest.raises(ValueError, match="top-level"):
+            evaluator_from_spec({
+                "name": "hybrid",
+                "coarse": {"name": "analytical", "faults": {"seed": 1}},
+                "fine": {"name": "cycle"},
+            })
+
+
+class TestShardRetries:
+    def test_transients_retried_to_healthy_records(self, tmp_path, workload):
+        """Every seeded transient heals in-process; merge == serial sweep."""
+        faulty = FaultyEvaluator(
+            AnalyticalEvaluator(),
+            {"seed": 5, "evaluator_error_rate": 0.5},
+        )
+        store = tmp_path / "store"
+        run = run_shard(workload, GRID, "1/1", store, evaluator=faulty,
+                        workload_spec=SPEC)
+        assert run.complete and run.failed == 0
+        assert run.retried > 0
+        merged = merge_store(store)
+        assert list(merged.points) == sweep_design_space(workload, GRID)
+
+    def test_retry_counts_land_in_records_not_payload(self, tmp_path,
+                                                      workload):
+        faulty = FaultyEvaluator(
+            AnalyticalEvaluator(), {"seed": 5, "evaluator_error_rate": 0.5}
+        )
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/1", store, evaluator=faulty,
+                  workload_spec=SPEC)
+        from repro.dist.sharding import ShardSpec
+        records = load_jsonl(
+            ResultStore(store).shard_path(ShardSpec(1, 1))
+        )
+        retried = [r for r in records if r.get("r")]
+        assert retried, "the seeded plan should have retried something"
+        # ``r`` is bookkeeping like ``t``: identical results from a
+        # retried and an untouched evaluation must compare equal.
+        healthy = encode_record(*decode_record(retried[0]))
+        assert record_payload(healthy) == record_payload(retried[0])
+        status = store_status(store)
+        assert status.retries == sum(r["r"] for r in retried)
+
+    def test_deterministic_failures_persist_once(self, tmp_path, workload):
+        """Non-transient evaluator bugs are not retried."""
+
+        class Broken:
+            calls = 0
+
+            def __call__(self, workload, config, accel_kwargs):
+                type(self).calls += 1
+                raise ValueError("deterministic bug")
+
+        store = tmp_path / "store"
+        grid = {"mac_lines": (16,)}
+        run = run_shard(workload, grid, "1/1", store, evaluator=Broken(),
+                        workload_spec=SPEC)
+        assert run.failed == 1 and run.retried == 0
+        assert Broken.calls == 1
+
+    def test_manifest_merge_strips_faults(self, tmp_path, workload):
+        """The merge host re-scores healthily: no faults key leaks out."""
+        faulty = FaultyEvaluator(
+            AnalyticalEvaluator(), {"seed": 1, "evaluator_error_rate": 0.2}
+        )
+        store = tmp_path / "store"
+        run_shard(workload, GRID, "1/1", store, evaluator=faulty,
+                  workload_spec=SPEC)
+        manifest = ResultStore(store).read_manifest()
+        assert manifest["evaluator"]["name"] == "analytical"
+        assert manifest["evaluator"]["faults"] == {
+            "seed": 1, "evaluator_error_rate": 0.2,
+        }
+        merged = merge_store(store)  # rebuilds the evaluator sans faults
+        assert list(merged.points) == sweep_design_space(workload, GRID)
+
+
+class TestTornWriteInjection:
+    def test_torn_tail_repaired_on_reopen(self, tmp_path, workload):
+        """Deterministic injection of the killed-writer torn tail."""
+        store = tmp_path / "store"
+        from repro.hw.params import VITCOD_DEFAULT
+        manifest = build_manifest(GRID, 1, AnalyticalEvaluator(),
+                                  VITCOD_DEFAULT, SPEC)
+        ResultStore.create_or_attach(store, manifest)
+        from repro.dist.sharding import ShardSpec
+        path = ResultStore(store).shard_path(ShardSpec(1, 1))
+        plan = plan_from_spec({"torn_write": True}).scoped(store)
+        appender = JsonlAppender(path)
+        appender.append(encode_record(0, sweep_design_space(
+            workload, {"mac_lines": (16,)})[0]))
+        point = sweep_design_space(workload, {"mac_lines": (32,)})[0]
+        with activate(plan):
+            with pytest.raises(FaultInjectedError):
+                appender.append(encode_record(1, point))
+        appender.close()
+        raw = path.read_bytes()
+        assert not raw.endswith(b"\n")  # genuinely torn mid-line
+        # The next writer (a relaunched shard) repairs the tail and
+        # the store reads back only whole records.
+        healed = JsonlAppender(path)
+        healed.append(encode_record(1, point))
+        healed.close()
+        records = load_jsonl(path)
+        assert [r["i"] for r in records] == [0, 1]
+
+    def test_faulty_shard_rerun_converges(self, tmp_path, workload):
+        """Torn write kills the run; a plain re-run completes the store."""
+        faulty = FaultyEvaluator(
+            AnalyticalEvaluator(), {"seed": 2, "torn_write": True}
+        )
+        store = tmp_path / "store"
+        with pytest.raises(FaultInjectedError):
+            run_shard(workload, GRID, "1/1", store, evaluator=faulty,
+                      workload_spec=SPEC)
+        run = run_shard(workload, GRID, "1/1", store, evaluator=faulty,
+                        workload_spec=SPEC)  # marker spent: heals through
+        assert run.complete
+        merged = merge_store(store)
+        assert list(merged.points) == sweep_design_space(workload, GRID)
+
+
+class TestFsyncInjection:
+    def test_event_log_append_survives_fsync_error(self, tmp_path):
+        """The record is durable even when the fsync barrier errors."""
+        log = EventLog(tmp_path / "events.jsonl")
+        log.append({"event": "ok"})
+        plan = plan_from_spec({"fsync_error": True}).scoped(tmp_path)
+        with activate(plan):
+            with pytest.raises(OSError, match="injected fsync"):
+                log.append({"event": "unlucky"})
+            log.append({"event": "after"})  # one-shot: spent
+        events = log.read()
+        assert [e["event"] for e in events] == ["ok", "unlucky", "after"]
+
+    def test_store_sync_fsync_error_leaves_records_whole(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        plan = plan_from_spec({"fsync_error": True}).scoped(tmp_path)
+        appender = JsonlAppender(path)
+        appender.append({"i": 0})
+        with activate(plan):
+            with pytest.raises(OSError, match="injected fsync"):
+                appender.close()  # the close barrier hits the fault
+        appender.close()  # one-shot spent: the real fsync runs
+        assert load_jsonl(path) == [{"i": 0}]
+
+
+class TestHeartbeat:
+    def test_heartbeat_touched_per_record(self, tmp_path, workload):
+        heartbeat = tmp_path / "hb" / "shard.hb"
+        run_shard(workload, GRID, "1/1", tmp_path / "store",
+                  workload_spec=SPEC, heartbeat=heartbeat)
+        assert heartbeat.is_file()
+
+
+class TestCliFaultPlans:
+    def test_dse_rejects_hybrid_with_faults(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="sharded path"):
+            main(["dse", "--evaluator", "hybrid", "--faults",
+                  '{"seed": 1}'])
+
+    def test_bad_plan_rejected_before_work(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="--faults"):
+            main(["dse", "--faults", '{"zap": 1}'])
+        with pytest.raises(SystemExit, match="--faults"):
+            main(["dse", "--faults", "not json {"])
+
+    def test_plan_file_accepted(self, tmp_path, capsys):
+        from repro.cli import main
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"seed": 9}))
+        assert main(["dse", "--models", "deit-tiny", "--grid",
+                     "mac_lines=16", "--faults", str(plan)]) == 0
+        assert "1 points" in capsys.readouterr().out

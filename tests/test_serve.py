@@ -505,3 +505,228 @@ class TestCreateOrAttach:
                     grid={"mac_lines": [16], "ae_compression": [None]}
                 ),
             )
+
+
+class TestBackpressure:
+    """Bounded queue: overflow is a 503 + Retry-After, never silent loss."""
+
+    def test_overload_raises_before_touching_disk(self, tmp_path):
+        from repro.serve import ServeOverloadError
+
+        manager = JobManager(tmp_path, workers=0, max_pending=1)
+        with pytest.raises(ServeOverloadError) as err:
+            manager.submit(_request(n_shards=2))
+        assert err.value.retry_after >= 1.0
+        assert manager.stats["overload_rejections"] == 1
+        assert not any(manager.jobs_root.iterdir()), (
+            "a rejected submission must not leave a job directory"
+        )
+
+    def test_resume_is_exempt_from_the_bound(self, tmp_path):
+        roomy = JobManager(tmp_path, workers=0, max_pending=16)
+        info = roomy.submit(_request(n_shards=4))
+        # A restarted server re-queues accepted work even when the bound
+        # would reject the same study as a fresh submission.
+        tight = JobManager(tmp_path, workers=0, max_pending=1)
+        assert info["id"] in tight.resume()
+        assert tight._jobs[info["id"]].state == "queued"
+        _drain(tight)
+        assert tight._jobs[info["id"]].state == "done"
+
+    def test_http_overload_is_503_with_retry_after(self, tmp_path):
+        import urllib.error
+        import urllib.request
+
+        with serving(tmp_path / "data", workers=0, max_pending=1) as server:
+            body = json.dumps(_request(n_shards=2)).encode()
+            request = urllib.request.Request(
+                f"{server.url}/jobs", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 503
+            assert float(err.value.headers["Retry-After"]) >= 1
+            payload = json.loads(err.value.read())
+            assert "retry_after" in payload
+
+    def test_client_surfaces_503_without_retries(self, tmp_path):
+        with serving(tmp_path / "data", workers=0, max_pending=1) as server:
+            client = ServeClient(server.url, retries=0)
+            with pytest.raises(ServeError) as err:
+                client.submit(_request(n_shards=2))
+            assert err.value.status == 503
+
+
+class TestTaskRetries:
+    """Shard-task failures spend a budget before poisoning the job."""
+
+    def test_injected_fsync_failure_heals_within_budget(self, tmp_path):
+        expected = _cli_reference(tmp_path, "analytical")
+        manager = JobManager(tmp_path / "data", workers=0, task_retries=2)
+        info = manager.submit(_request(
+            evaluator={"name": "analytical", "faults": {"fsync_error": True}}
+        ))
+        _drain(manager)
+        job = manager._jobs[info["id"]]
+        assert job.state == "done"
+        assert manager.stats["task_retries"] == 1
+        text, partial = manager.results(info["id"])
+        assert not partial and text.encode() == expected
+        events = [e["event"] for e in manager.events(info["id"])]
+        assert "shard_retry" in events
+
+    def test_transient_evaluator_faults_cost_no_task_retries(self, tmp_path):
+        """In-shard point retries absorb seeded evaluator errors."""
+        expected = _cli_reference(tmp_path, "analytical")
+        manager = JobManager(tmp_path / "data", workers=0)
+        info = manager.submit(_request(
+            evaluator={
+                "name": "analytical",
+                "faults": {"seed": 3, "evaluator_error_rate": 0.5},
+            }
+        ))
+        _drain(manager)
+        assert manager._jobs[info["id"]].state == "done"
+        assert manager.stats["task_retries"] == 0
+        text, _ = manager.results(info["id"])
+        assert text.encode() == expected
+
+    def test_exhausted_budget_fails_the_job(self, tmp_path, monkeypatch):
+        import repro.serve.jobs as jobs_mod
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("persistent shard crash")
+
+        monkeypatch.setattr(jobs_mod, "run_shard", explode)
+        manager = JobManager(tmp_path, workers=0, task_retries=1)
+        info = manager.submit(_request())
+        _drain(manager)
+        job = manager._jobs[info["id"]]
+        assert job.state == "failed"
+        assert "persistent shard crash" in job.error
+        assert manager.stats["task_retries"] == 1
+        assert manager.stats["jobs_failed"] == 1
+
+    def test_kill_fault_plans_are_rejected(self, tmp_path):
+        manager = JobManager(tmp_path, workers=0)
+        with pytest.raises(ServeRequestError, match="kill_after_records"):
+            manager.submit(_request(
+                evaluator={"name": "analytical",
+                           "faults": {"kill_after_records": 1}}
+            ))
+
+
+class TestTaskWatchdog:
+    def test_hung_task_times_out_and_fails(self, tmp_path):
+        manager = JobManager(
+            tmp_path, workers=0, task_timeout=0.3, task_retries=0
+        )
+        # handicap sleeps per recorded point: 4 points x 0.5s >> 0.3s.
+        info = manager.submit(_request(handicap=0.5))
+        _drain(manager)
+        job = manager._jobs[info["id"]]
+        assert job.state == "failed"
+        assert "task timeout" in job.error
+        assert manager.stats["task_timeouts"] >= 1
+
+    def test_fast_tasks_never_meet_the_watchdog(self, tmp_path):
+        manager = JobManager(tmp_path, workers=0, task_timeout=60.0)
+        info = manager.submit(_request())
+        _drain(manager)
+        assert manager._jobs[info["id"]].state == "done"
+        assert manager.stats["task_timeouts"] == 0
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        server = _ServerProcess(tmp_path, tmp_path / "data")
+        server.proc.send_signal(signal.SIGTERM)
+        assert server.proc.wait(timeout=30) == 0
+        out = server.proc.stdout.read()
+        server.proc.stdout.close()
+        assert "draining" in out
+
+    def test_sigterm_mid_job_resumes_cleanly(self, tmp_path):
+        expected = _cli_reference(tmp_path, "analytical")
+        data_dir = tmp_path / "data"
+        first = _ServerProcess(tmp_path, data_dir)
+        try:
+            client = ServeClient(first.url)
+            info = client.submit(_request(n_shards=2, handicap=0.4))
+            job_id = info["id"]
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if client.status(job_id)["done"] >= 1:
+                    break
+                time.sleep(0.02)
+        finally:
+            first.proc.send_signal(signal.SIGTERM)
+        assert first.proc.wait(timeout=60) == 0
+        first.proc.stdout.close()
+
+        second = _ServerProcess(tmp_path, data_dir)
+        try:
+            client = ServeClient(second.url)
+            status = client.wait(job_id, timeout=120)
+            assert status["state"] == "done"
+            assert client.raw_results(job_id) == expected
+        finally:
+            second.kill()
+
+
+class TestClientRetries:
+    def test_5xx_retries_honour_retry_after(self):
+        import threading
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        hits = []
+
+        class Flaky(BaseHTTPRequestHandler):
+            def do_GET(self):
+                hits.append(self.path)
+                if len(hits) == 1:
+                    body = b'{"error": "warming up"}'
+                    self.send_response(503)
+                    self.send_header("Retry-After", "0")
+                else:
+                    body = b'{"ok": true, "stats": {}}'
+                    self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args):
+                pass
+
+        httpd = HTTPServer(("127.0.0.1", 0), Flaky)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(
+                f"http://127.0.0.1:{httpd.server_address[1]}",
+                retries=2, backoff_s=0.01,
+            )
+            assert client.health()["ok"] is True
+            assert len(hits) == 2
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+
+    def test_4xx_never_retries(self, tmp_path):
+        with serving(tmp_path / "data", workers=0) as server:
+            client = ServeClient(server.url, retries=3, backoff_s=0.01)
+            begin = time.monotonic()
+            with pytest.raises(ServeError) as err:
+                client.submit({"grid": {"bogus": [1]}})
+            assert err.value.status == 400
+            assert time.monotonic() - begin < 1.0  # no backoff sleeps
+
+    def test_connection_errors_retry_then_raise(self):
+        import urllib.error
+
+        client = ServeClient("http://127.0.0.1:9", retries=2, backoff_s=0.01)
+        with pytest.raises(urllib.error.URLError):
+            client.health()
